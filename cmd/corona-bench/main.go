@@ -1,0 +1,174 @@
+// Command corona-bench regenerates the paper's evaluation (§5): Figure 3,
+// the §5.2 message-size sweep, Table 1, Table 2, and the ablations indexed
+// in DESIGN.md. Each experiment prints the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	corona-bench -experiment fig3|sizesweep|table1|table2|jointransfer|logreduction|relaxed|qos|all [flags]
+//
+// The defaults are scaled for a laptop-class machine; -full restores the
+// paper-scale parameters (600 messages per point, client counts up to 300).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"corona/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "corona-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("corona-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | jointransfer | logreduction | relaxed | qos | all")
+		full       = fs.Bool("full", false, "paper-scale parameters (slow: hundreds of clients, 600 messages per point)")
+		messages   = fs.Int("messages", 0, "timed messages per point (0 = experiment default)")
+		msgSize    = fs.Int("size", 1000, "multicast payload bytes for latency experiments")
+		clients    = fs.String("clients", "", "comma-separated client counts for fig3/table2 (overrides defaults)")
+		servers    = fs.Int("servers", 6, "member servers for table2")
+		duration   = fs.Duration("duration", 2*time.Second, "blast duration per table1 cell")
+		dataDir    = fs.String("dir", "", "stable-storage directory (default: a temp dir)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dir := *dataDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "corona-bench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	msgs := *messages
+	if msgs == 0 {
+		msgs = 100
+		if *full {
+			msgs = 600
+		}
+	}
+	counts, err := parseCounts(*clients)
+	if err != nil {
+		return err
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "fig3":
+			cc := counts
+			if cc == nil {
+				cc = []int{5, 10, 20, 30, 40, 50, 60}
+				if !*full {
+					cc = []int{5, 10, 20, 40, 60}
+				}
+			}
+			points, err := bench.RunFig3(bench.Fig3Config{
+				ClientCounts: cc, MsgSize: *msgSize, Messages: msgs,
+				Dir: dir + "/fig3",
+			})
+			if err != nil {
+				return err
+			}
+			bench.PrintFig3(os.Stdout, points, *msgSize)
+		case "sizesweep":
+			points, err := bench.RunSizeSweep(20, nil, msgs)
+			if err != nil {
+				return err
+			}
+			bench.PrintSizeSweep(os.Stdout, points, 20)
+		case "table1":
+			rows, err := bench.RunTable1(6, *duration, dir)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable1(os.Stdout, rows, 6)
+		case "table2":
+			cc := counts
+			if cc == nil {
+				cc = []int{100, 200, 300}
+				if !*full {
+					cc = []int{50, 100, 150}
+				}
+			}
+			rows, err := bench.RunTable2(bench.Table2Config{
+				ClientCounts: cc, Servers: *servers, MsgSize: *msgSize, Messages: msgs,
+			})
+			if err != nil {
+				return err
+			}
+			bench.PrintTable2(os.Stdout, rows, *servers, *msgSize)
+		case "jointransfer":
+			cfg := bench.JoinTransferConfig{History: 2000, UpdateSize: 500, Objects: 8, LastN: 20, Joins: 30}
+			rows, err := bench.RunJoinTransfer(cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintJoinTransfer(os.Stdout, rows, cfg)
+		case "logreduction":
+			res, err := bench.RunLogReduction(2000, 500, 20, dir+"/logred")
+			if err != nil {
+				return err
+			}
+			bench.PrintLogReduction(os.Stdout, res)
+		case "relaxed":
+			res, err := bench.RunRelaxed(msgs)
+			if err != nil {
+				return err
+			}
+			bench.PrintRelaxed(os.Stdout, res)
+		case "qos":
+			res, err := bench.RunQoS(msgs)
+			if err != nil {
+				return err
+			}
+			bench.PrintQoS(os.Stdout, res)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if *experiment == "all" {
+		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "jointransfer", "logreduction", "relaxed", "qos"} {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(*experiment)
+}
+
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad client count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCounts(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"5", []int{5}, false},
+		{"5,10, 20", []int{5, 10, 20}, false},
+		{"abc", nil, true},
+		{"5,-1", nil, true},
+		{"5,0", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseCounts(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseCounts(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.wantErr && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseCounts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-clients", "x,y"}); err == nil {
+		t.Fatal("bad client list accepted")
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-experiment", "fig3", "-clients", "2", "-messages", "3", "-dir", t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Command corona-cli is an interactive Corona client for manual testing
+// and operations. It connects to any Corona server (standalone or a member
+// of a replicated service) and exposes the full client API as line
+// commands; deliveries and membership notifications print asynchronously.
+//
+//	corona-cli -addr 127.0.0.1:7470 -name alice
+//
+// Commands:
+//
+//	create <group> [persistent]        create a group
+//	delete <group>                     delete a group
+//	join <group> [full|last:N|obj:ID|none] [notify]
+//	leave <group>
+//	state <group> <object> <text>      bcastState (replace object)
+//	update <group> <object> <text>     bcastUpdate (append to object)
+//	members <group>                    membership query
+//	groups                             list groups
+//	lock <group> <name> [wait]         acquire a lock
+//	unlock <group> <name>              release a lock
+//	reduce <group> [seq]               state-log reduction
+//	ping                               measure service RTT
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"corona/internal/client"
+	"corona/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "corona-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7470", "server address")
+	name := flag.String("name", "cli", "client display name")
+	flag.Parse()
+
+	c, err := client.Dial(client.Config{
+		Addr: *addr,
+		Name: *name,
+		OnEvent: func(group string, ev wire.Event) {
+			fmt.Printf("<< [%s #%d] %s %s: %q (from %d)\n",
+				group, ev.Seq, ev.Kind, ev.ObjectID, ev.Data, ev.Sender)
+		},
+		OnMembership: func(n wire.MembershipNotify) {
+			fmt.Printf("<< [%s] member %q %s (%d members)\n",
+				n.Group, n.Member.Name, n.Change, n.Count)
+		},
+		OnDisconnect: func(err error) {
+			fmt.Printf("<< connection lost: %v (try 'reconnect')\n", err)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s as client %d\n", *addr, c.ID())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		if done := dispatch(c, strings.Fields(sc.Text())); done {
+			return nil
+		}
+		fmt.Print("> ")
+	}
+	return sc.Err()
+}
+
+// dispatch executes one command line; it returns true on quit.
+func dispatch(c *client.Client, args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	fail := func(err error) {
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("ok")
+		}
+	}
+	switch args[0] {
+	case "quit", "exit":
+		return true
+	case "create":
+		if len(args) < 2 {
+			fmt.Println("usage: create <group> [persistent]")
+			return false
+		}
+		persistent := len(args) > 2 && args[2] == "persistent"
+		fail(c.CreateGroup(args[1], persistent, nil))
+	case "delete":
+		if len(args) < 2 {
+			fmt.Println("usage: delete <group>")
+			return false
+		}
+		fail(c.DeleteGroup(args[1]))
+	case "join":
+		if len(args) < 2 {
+			fmt.Println("usage: join <group> [full|last:N|obj:ID|none] [notify]")
+			return false
+		}
+		opts := client.JoinOptions{CreateIfMissing: true}
+		for _, a := range args[2:] {
+			switch {
+			case a == "notify":
+				opts.Notify = true
+			case a == "full":
+				opts.Policy = wire.FullTransfer
+			case a == "none":
+				opts.Policy = wire.TransferPolicy{Mode: wire.TransferNone}
+			case strings.HasPrefix(a, "last:"):
+				n, err := strconv.Atoi(strings.TrimPrefix(a, "last:"))
+				if err != nil {
+					fmt.Println("bad last:N")
+					return false
+				}
+				opts.Policy = wire.TransferPolicy{Mode: wire.TransferLastN, LastN: uint32(n)}
+			case strings.HasPrefix(a, "obj:"):
+				opts.Policy = wire.TransferPolicy{
+					Mode:    wire.TransferObjects,
+					Objects: strings.Split(strings.TrimPrefix(a, "obj:"), ","),
+				}
+			}
+		}
+		res, err := c.Join(args[1], opts)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("joined %s: %d objects, %d history events, %d members, next seq %d\n",
+			args[1], len(res.Objects), len(res.Events), len(res.Members), res.NextSeq)
+		for _, o := range res.Objects {
+			fmt.Printf("  object %s: %q\n", o.ID, truncate(o.Data, 64))
+		}
+		for _, ev := range res.Events {
+			fmt.Printf("  event #%d %s %s: %q\n", ev.Seq, ev.Kind, ev.ObjectID, truncate(ev.Data, 64))
+		}
+	case "leave":
+		if len(args) < 2 {
+			fmt.Println("usage: leave <group>")
+			return false
+		}
+		fail(c.Leave(args[1]))
+	case "state", "update":
+		if len(args) < 4 {
+			fmt.Printf("usage: %s <group> <object> <text>\n", args[0])
+			return false
+		}
+		data := []byte(strings.Join(args[3:], " "))
+		var seq uint64
+		var err error
+		if args[0] == "state" {
+			seq, err = c.BcastState(args[1], args[2], data, false)
+		} else {
+			seq, err = c.BcastUpdate(args[1], args[2], data, false)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("sent as #%d\n", seq)
+		}
+	case "members":
+		if len(args) < 2 {
+			fmt.Println("usage: members <group>")
+			return false
+		}
+		ms, err := c.Membership(args[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		for _, m := range ms {
+			fmt.Printf("  %d %s (%s)\n", m.ClientID, m.Name, m.Role)
+		}
+	case "groups":
+		gs, err := c.ListGroups()
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		for _, g := range gs {
+			fmt.Println(" ", g)
+		}
+	case "lock":
+		if len(args) < 3 {
+			fmt.Println("usage: lock <group> <name> [wait]")
+			return false
+		}
+		wait := len(args) > 3 && args[3] == "wait"
+		granted, holder, err := c.AcquireLock(args[1], args[2], wait)
+		switch {
+		case err != nil:
+			fmt.Println("error:", err)
+		case granted:
+			fmt.Println("granted")
+		default:
+			fmt.Printf("held by client %d\n", holder)
+		}
+	case "unlock":
+		if len(args) < 3 {
+			fmt.Println("usage: unlock <group> <name>")
+			return false
+		}
+		fail(c.ReleaseLock(args[1], args[2]))
+	case "reduce":
+		if len(args) < 2 {
+			fmt.Println("usage: reduce <group> [seq]")
+			return false
+		}
+		var upTo uint64
+		if len(args) > 2 {
+			upTo, _ = strconv.ParseUint(args[2], 10, 64)
+		}
+		base, trimmed, err := c.ReduceLog(args[1], upTo)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("checkpoint at #%d, %d events trimmed\n", base, trimmed)
+		}
+	case "ping":
+		rtt, err := c.Ping()
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("rtt:", rtt)
+		}
+	case "reconnect":
+		results, err := c.Reconnect()
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		for g, res := range results {
+			fmt.Printf("resynced %s: %d missed events\n", g, len(res.Events))
+		}
+	default:
+		fmt.Println("unknown command:", args[0])
+	}
+	return false
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return append(append([]byte{}, b[:n]...), '.', '.', '.')
+}

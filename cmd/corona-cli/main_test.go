@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"corona/internal/client"
+	"corona/internal/core"
+)
+
+func testClient(t *testing.T) *client.Client {
+	t.Helper()
+	srv, err := core.NewServer(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.Start()
+	c, err := client.Dial(client.Config{Addr: srv.Addr().String(), Name: "cli-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestDispatchFullSession drives the command set end to end against a live
+// server; dispatch prints its results, so this exercises parsing and the
+// client calls without asserting on terminal output.
+func TestDispatchFullSession(t *testing.T) {
+	c := testClient(t)
+	script := [][]string{
+		{"create", "g", "persistent"},
+		{"join", "g", "full", "notify"},
+		{"state", "g", "doc", "hello", "world"},
+		{"update", "g", "doc", "more"},
+		{"members", "g"},
+		{"groups"},
+		{"lock", "g", "cursor"},
+		{"unlock", "g", "cursor"},
+		{"reduce", "g"},
+		{"ping"},
+		{"join", "h", "last:5"},
+		{"join", "i", "obj:doc,cfg"},
+		{"join", "j", "none"},
+		{"leave", "g"},
+		{"delete", "g"},
+		{},                  // empty line is a no-op
+		{"unknown-command"}, // prints an error, does not crash
+		{"create"},          // missing args
+		{"join"},
+		{"leave"},
+		{"state", "g"},
+		{"members"},
+		{"lock", "g"},
+		{"unlock", "g"},
+		{"reduce"},
+		{"delete"},
+	}
+	for _, line := range script {
+		if done := dispatch(c, line); done {
+			t.Fatalf("dispatch(%v) quit the session", line)
+		}
+	}
+	if !dispatch(c, []string{"quit"}) {
+		t.Fatal("quit did not end the session")
+	}
+	if !dispatch(c, []string{"exit"}) {
+		t.Fatal("exit did not end the session")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := string(truncate([]byte("short"), 10)); got != "short" {
+		t.Errorf("truncate short = %q", got)
+	}
+	if got := string(truncate([]byte("0123456789abc"), 10)); got != "0123456789..." {
+		t.Errorf("truncate long = %q", got)
+	}
+}

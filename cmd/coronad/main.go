@@ -1,0 +1,148 @@
+// Command coronad runs a Corona service process in one of three roles:
+//
+//	coronad -role single -addr :7470 -dir /var/lib/corona
+//	    A standalone stateful multicast server.
+//
+//	coronad -role coordinator -peer-addr :7480
+//	    The coordinator of a replicated service.
+//
+//	coronad -role server -id 2 -addr :7471 -peer-addr :7481 -coordinator host:7480
+//	    A member server of a replicated service.
+//
+// The process exits cleanly on SIGINT/SIGTERM, flushing the stable-storage
+// log.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"corona/internal/cluster"
+	"corona/internal/core"
+	"corona/internal/wal"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coronad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("coronad", flag.ContinueOnError)
+	var (
+		role        = fs.String("role", "single", "single | coordinator | server")
+		id          = fs.Uint64("id", 0, "server identity (replicated roles; must be unique)")
+		addr        = fs.String("addr", "127.0.0.1:7470", "client listen address (single, server)")
+		peerAddr    = fs.String("peer-addr", "127.0.0.1:7480", "peer listen address (coordinator, server)")
+		coordinator = fs.String("coordinator", "", "coordinator peer address (server role)")
+		dir         = fs.String("dir", "", "stable-storage directory (empty: in-memory state)")
+		syncMode    = fs.String("sync", "interval", "log durability: never | interval | always")
+		stateless   = fs.Bool("stateless", false, "run the sequencer-only baseline (no state, no log)")
+		autoReduce  = fs.Int("auto-reduce", 8192, "state-log reduction threshold in events (0: disabled)")
+		verbose     = fs.Bool("v", false, "debug logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var sync wal.SyncPolicy
+	switch *syncMode {
+	case "never":
+		sync = wal.SyncNever
+	case "interval":
+		sync = wal.SyncInterval
+	case "always":
+		sync = wal.SyncAlways
+	default:
+		return fmt.Errorf("unknown sync mode %q", *syncMode)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	switch *role {
+	case "single":
+		srv, err := core.NewServer(core.Config{
+			Addr: *addr,
+			Engine: core.EngineConfig{
+				Dir: *dir, Sync: sync, Stateless: *stateless,
+				AutoReduceThreshold: *autoReduce, Logger: logger,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		logger.Info("corona server running", "addr", srv.Addr().String(), "stateful", !*stateless, "dir", *dir)
+		<-sig
+		logger.Info("shutting down")
+		return srv.Close()
+
+	case "coordinator":
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			ID: orDefault(*id, 1), PeerAddr: *peerAddr, Logger: logger,
+		})
+		if err != nil {
+			return err
+		}
+		coord.Start()
+		logger.Info("corona coordinator running", "peer-addr", coord.Addr())
+		<-sig
+		logger.Info("shutting down")
+		return coord.Close()
+
+	case "server":
+		if *coordinator == "" {
+			return fmt.Errorf("-coordinator is required for -role server")
+		}
+		if *id == 0 {
+			return fmt.Errorf("-id is required for -role server")
+		}
+		srv, err := cluster.NewServer(cluster.ServerConfig{
+			ID:              *id,
+			ClientAddr:      *addr,
+			PeerAddr:        *peerAddr,
+			CoordinatorAddr: *coordinator,
+			Engine: core.EngineConfig{
+				Dir: *dir, Sync: sync,
+				AutoReduceThreshold: *autoReduce,
+			},
+			Logger: logger,
+		})
+		if err != nil {
+			return err
+		}
+		if err := srv.Start(); err != nil {
+			// Registration may lag the coordinator's start; the link
+			// loop keeps retrying.
+			logger.Warn("initial coordinator registration failed; retrying in background", "err", err)
+		}
+		logger.Info("corona cluster server running",
+			"client-addr", srv.ClientAddr(), "peer-addr", srv.PeerAddr(), "coordinator", *coordinator)
+		<-sig
+		logger.Info("shutting down")
+		return srv.Close()
+
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}
+
+func orDefault(v, def uint64) uint64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunValidatesArgs(t *testing.T) {
+	cases := [][]string{
+		{"-role", "unknown"},
+		{"-sync", "sometimes"},
+		{"-role", "server"},                          // missing -coordinator
+		{"-role", "server", "-coordinator", "x:1"},   // missing -id
+		{"-role", "single", "-addr", "256.0.0.1:-1"}, // unusable address
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted invalid arguments", args)
+		}
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if orDefault(0, 7) != 7 || orDefault(3, 7) != 3 {
+		t.Fatal("orDefault broken")
+	}
+}

@@ -1,0 +1,207 @@
+// Package corona is a stateful group communication service, a from-scratch
+// reproduction of "Stateful Group Communication Services" (Litiu & Prakash,
+// ICDCS 1999).
+//
+// Corona provides reliable group multicast for collaboration tools and data
+// dissemination in environments where clients connect and disconnect
+// independently. Unlike classic group communication systems that replicate
+// all state at the clients, the Corona service itself maintains each
+// group's shared state — a set of type-opaque objects updated through the
+// multicast primitives — so that:
+//
+//   - new clients join fast, with a customizable state transfer (full
+//     state, the latest N updates, selected objects, or a resume-from-
+//     sequence-number suffix), without involving the existing members;
+//   - persistent groups and their state outlive both their members and
+//     the server process (stable-storage logging with checkpoints);
+//   - client crashes cannot lose group state, and reconnecting clients
+//     resynchronize incrementally.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Dial / Client — the client library (join, multicast, locks,
+//     membership, reconnect).
+//   - NewServer / Server — the standalone single-server service.
+//   - NewCoordinator + NewClusterServer — the replicated service: a
+//     star of servers around a sequencing coordinator, with heartbeat
+//     failure detection, backup replicas, and coordinator succession.
+//
+// See the examples directory for runnable programs: a quickstart, a chat
+// box, a shared whiteboard, a publish/subscribe data feed, and a cluster
+// failover drill.
+package corona
+
+import (
+	"corona/internal/client"
+	"corona/internal/cluster"
+	"corona/internal/core"
+	"corona/internal/membership"
+	"corona/internal/view"
+	"corona/internal/wal"
+	"corona/internal/wire"
+)
+
+// Client-side types.
+type (
+	// Client is a connection to a Corona service.
+	Client = client.Client
+	// ClientConfig configures Dial.
+	ClientConfig = client.Config
+	// JoinOptions selects the state transfer and role for a Join.
+	JoinOptions = client.JoinOptions
+	// JoinResult is the state transfer delivered with a join.
+	JoinResult = client.JoinResult
+	// ServerError is a request failure reported by the service.
+	ServerError = client.ServerError
+	// View is a client-side materialized group state (the paper's
+	// shared-object model at the client).
+	View = view.View
+)
+
+// NewView returns an empty client-side state view; wire its ApplyEvent
+// into ClientConfig.OnEvent and feed join results to ApplyJoin.
+func NewView() *View { return view.New() }
+
+// Service-side types.
+type (
+	// Server is the standalone single-server Corona service.
+	Server = core.Server
+	// ServerConfig configures NewServer.
+	ServerConfig = core.Config
+	// EngineConfig carries the service-engine settings (persistence,
+	// durability, statelessness, authorization, log-reduction policy).
+	EngineConfig = core.EngineConfig
+	// Coordinator is the sequencing hub of a replicated service.
+	Coordinator = cluster.Coordinator
+	// CoordinatorConfig configures NewCoordinator.
+	CoordinatorConfig = cluster.CoordinatorConfig
+	// ClusterServer is a member server of a replicated service.
+	ClusterServer = cluster.Server
+	// ClusterServerConfig configures NewClusterServer.
+	ClusterServerConfig = cluster.ServerConfig
+	// SessionManager authorizes membership actions (external workspace
+	// session manager hook).
+	SessionManager = membership.SessionManager
+	// Action is a membership operation submitted to a SessionManager.
+	Action = membership.Action
+	// ACL is a rule-based SessionManager (access control).
+	ACL = membership.ACL
+	// ACLRule grants capabilities on matching groups.
+	ACLRule = membership.ACLRule
+	// Priority is a group's delivery scheduling class (QoS).
+	Priority = core.Priority
+	// DivergenceReport describes a detected post-partition divergence.
+	DivergenceReport = cluster.DivergenceReport
+	// Resolution selects how a divergence is settled.
+	Resolution = wire.Resolution
+)
+
+// Protocol types shared by clients and services.
+type (
+	// Event is one sequenced group multicast.
+	Event = wire.Event
+	// EventKind distinguishes bcastState from bcastUpdate.
+	EventKind = wire.EventKind
+	// Object is one element of a group's shared state.
+	Object = wire.Object
+	// MemberInfo describes one group member.
+	MemberInfo = wire.MemberInfo
+	// MembershipNotify is a pushed membership-change notification.
+	MembershipNotify = wire.MembershipNotify
+	// MembershipChange is the cause of a notification.
+	MembershipChange = wire.MembershipChange
+	// TransferPolicy customizes the state transfer at join.
+	TransferPolicy = wire.TransferPolicy
+	// TransferMode enumerates the transfer policies.
+	TransferMode = wire.TransferMode
+	// Role is a member's relationship to a group.
+	Role = wire.Role
+	// SyncPolicy selects the stable-storage durability level.
+	SyncPolicy = wal.SyncPolicy
+)
+
+// Event kinds.
+const (
+	// EventState replaces an object's state (bcastState).
+	EventState = wire.EventState
+	// EventUpdate appends an incremental change (bcastUpdate).
+	EventUpdate = wire.EventUpdate
+)
+
+// Transfer modes.
+const (
+	TransferFull    = wire.TransferFull
+	TransferLastN   = wire.TransferLastN
+	TransferObjects = wire.TransferObjects
+	TransferNone    = wire.TransferNone
+	TransferResume  = wire.TransferResume
+)
+
+// Member roles.
+const (
+	RolePrincipal = wire.RolePrincipal
+	RoleObserver  = wire.RoleObserver
+)
+
+// Membership changes.
+const (
+	MemberJoined  = wire.MemberJoined
+	MemberLeft    = wire.MemberLeft
+	MemberCrashed = wire.MemberCrashed
+)
+
+// Durability policies for the stable-storage log.
+const (
+	SyncNever    = wal.SyncNever
+	SyncInterval = wal.SyncInterval
+	SyncAlways   = wal.SyncAlways
+)
+
+// Membership actions (SessionManager).
+const (
+	ActionCreate = membership.ActionCreate
+	ActionDelete = membership.ActionDelete
+	ActionJoin   = membership.ActionJoin
+	ActionLeave  = membership.ActionLeave
+)
+
+// Delivery priorities (QoS scheduling).
+const (
+	PriorityNormal = core.PriorityNormal
+	PriorityHigh   = core.PriorityHigh
+)
+
+// Divergence resolutions (replicated service, post-partition).
+const (
+	ResolutionRollback = wire.ResolutionRollback
+	ResolutionAdopt    = wire.ResolutionAdopt
+	ResolutionFork     = wire.ResolutionFork
+)
+
+// NewACL builds a rule-based access-control SessionManager.
+func NewACL(defaultAllow bool, rules ...ACLRule) (*ACL, error) {
+	return membership.NewACL(defaultAllow, rules...)
+}
+
+// Dial connects a client to a Corona service (standalone server or any
+// server of a replicated service).
+func Dial(cfg ClientConfig) (*Client, error) { return client.Dial(cfg) }
+
+// NewServer builds a standalone Corona server. Call Start to begin
+// accepting clients.
+func NewServer(cfg ServerConfig) (*Server, error) { return core.NewServer(cfg) }
+
+// NewCoordinator builds the coordinator of a replicated Corona service.
+// Call Start to begin accepting servers.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	return cluster.NewCoordinator(cfg)
+}
+
+// NewClusterServer builds a member server of a replicated Corona service.
+// Call Start to register with the coordinator and begin serving clients.
+func NewClusterServer(cfg ClusterServerConfig) (*ClusterServer, error) {
+	return cluster.NewServer(cfg)
+}
+
+// FullTransfer is the default transfer policy: the whole group state.
+var FullTransfer = wire.FullTransfer

@@ -1,0 +1,134 @@
+package corona_test
+
+import (
+	"fmt"
+	"log"
+
+	"corona"
+)
+
+// Example demonstrates the core loop: a stateful server, a group with
+// shared state, a multicast, and a late joiner receiving the state from
+// the service.
+func Example() {
+	srv, err := corona.NewServer(corona.ServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	addr := srv.Addr().String()
+
+	alice, err := corona.Dial(corona.ClientConfig{Addr: addr, Name: "alice"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+
+	if err := alice.CreateGroup("pad", true, nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.Join("pad", corona.JoinOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.BcastUpdate("pad", "text", []byte("hello, "), false); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.BcastUpdate("pad", "text", []byte("world"), false); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob joins later; the service transfers the accumulated state.
+	bob, err := corona.Dial(corona.ClientConfig{Addr: addr, Name: "bob"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+	res, err := bob.Join("pad", corona.JoinOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s = %q\n", res.Objects[0].ID, res.Objects[0].Data)
+	// Output: text = "hello, world"
+}
+
+// ExampleClient_Join_lastN shows the customized state transfer: a client
+// on a slow link requests only the most recent updates.
+func ExampleClient_Join_lastN() {
+	srv, err := corona.NewServer(corona.ServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+
+	writer, err := corona.Dial(corona.ClientConfig{Addr: srv.Addr().String(), Name: "writer"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer writer.Close()
+	if _, err := writer.Join("log", corona.JoinOptions{CreateIfMissing: true}); err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if _, err := writer.BcastUpdate("log", "lines", []byte(fmt.Sprintf("line %d\n", i)), false); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	reader, err := corona.Dial(corona.ClientConfig{Addr: srv.Addr().String(), Name: "reader"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reader.Close()
+	res, err := reader.Join("log", corona.JoinOptions{
+		Policy: corona.TransferPolicy{Mode: corona.TransferLastN, LastN: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range res.Events {
+		fmt.Printf("#%d %s", ev.Seq, ev.Data)
+	}
+	// Output:
+	// #99 line 99
+	// #100 line 100
+}
+
+// ExampleNewACL shows access control through the session-manager hook.
+func ExampleNewACL() {
+	acl, err := corona.NewACL(false, corona.ACLRule{
+		Pattern: "secret/*",
+		Owners:  []string{"boss"},
+		Members: []string{"employee"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := corona.NewServer(corona.ServerConfig{
+		Engine: corona.EngineConfig{SessionManager: acl},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+
+	boss, err := corona.Dial(corona.ClientConfig{Addr: srv.Addr().String(), Name: "boss"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer boss.Close()
+	fmt.Println("boss create:", boss.CreateGroup("secret/plans", true, nil) == nil)
+
+	mallory, err := corona.Dial(corona.ClientConfig{Addr: srv.Addr().String(), Name: "mallory"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mallory.Close()
+	_, joinErr := mallory.Join("secret/plans", corona.JoinOptions{})
+	fmt.Println("mallory join denied:", joinErr != nil)
+	// Output:
+	// boss create: true
+	// mallory join denied: true
+}

@@ -1,0 +1,148 @@
+// Datafeed reproduces the paper's data-dissemination scenario (Figure 1
+// and §5.1's instrument data viewers): publishers push instrument readings
+// into a persistent group; permanent subscribers receive them live
+// (push), while asynchronous subscribers connect occasionally and pull the
+// data that accumulated while they were away — "the data dissemination
+// service has to keep the data long after it has received it from its
+// publisher."
+//
+// The example also exercises persistence across a full service restart and
+// state-log reduction once the history has been consumed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"corona"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "corona-datafeed-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := corona.ServerConfig{Engine: corona.EngineConfig{Dir: dir, Sync: corona.SyncAlways}}
+	srv, err := corona.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	addr := srv.Addr().String()
+
+	// The publisher creates a persistent feed and pushes readings. No
+	// subscriber is connected yet — the service itself is the pool that
+	// retains the data.
+	publisher, err := corona.Dial(corona.ClientConfig{Addr: addr, Name: "magnetometer"})
+	if err != nil {
+		return err
+	}
+	if err := publisher.CreateGroup("feed/mag", true, nil); err != nil {
+		return err
+	}
+	if _, err := publisher.Join("feed/mag", corona.JoinOptions{}); err != nil {
+		return err
+	}
+
+	// A permanent subscriber receives live pushes.
+	live := make(chan corona.Event, 64)
+	permanent, err := corona.Dial(corona.ClientConfig{
+		Addr: addr, Name: "ops-console",
+		OnEvent: func(_ string, ev corona.Event) { live <- ev },
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := permanent.Join("feed/mag", corona.JoinOptions{
+		Policy: corona.TransferPolicy{Mode: corona.TransferNone},
+		Role:   corona.RoleObserver,
+	}); err != nil {
+		return err
+	}
+
+	for i := 1; i <= 6; i++ {
+		reading := fmt.Sprintf("t=%02d nT=%d", i, 47000+i*3)
+		if _, err := publisher.BcastUpdate("feed/mag", "readings", []byte(reading+"\n"), false); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 6; i++ {
+		ev := <-live
+		if i == 0 || i == 5 {
+			fmt.Printf("ops-console live push #%d: %s", ev.Seq, ev.Data)
+		}
+	}
+
+	// An asynchronous subscriber connects after the fact and pulls the
+	// backlog with a last-N transfer, then disconnects again.
+	async, err := corona.Dial(corona.ClientConfig{Addr: addr, Name: "field-laptop"})
+	if err != nil {
+		return err
+	}
+	res, err := async.Join("feed/mag", corona.JoinOptions{
+		Policy: corona.TransferPolicy{Mode: corona.TransferLastN, LastN: 3},
+		Role:   corona.RoleObserver,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("field-laptop pulled %d backlog readings (from seq %d):\n", len(res.Events), res.Events[0].Seq)
+	for _, ev := range res.Events {
+		fmt.Printf("    %s", ev.Data)
+	}
+	if err := async.Leave("feed/mag"); err != nil {
+		return err
+	}
+	async.Close()
+
+	// The service restarts (crash or maintenance). The persistent feed
+	// and every reading survive on stable storage.
+	publisher.Close()
+	permanent.Close()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Println("--- service restarted ---")
+	srv2, err := corona.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv2.Close()
+	srv2.Start()
+	addr2 := srv2.Addr().String()
+
+	reconnecting, err := corona.Dial(corona.ClientConfig{Addr: addr2, Name: "field-laptop"})
+	if err != nil {
+		return err
+	}
+	defer reconnecting.Close()
+	res, err = reconnecting.Join("feed/mag", corona.JoinOptions{})
+	if err != nil {
+		return err
+	}
+	var total int
+	for _, o := range res.Objects {
+		total += len(o.Data)
+	}
+	fmt.Printf("after restart the feed still holds %d bytes across %d objects (next seq %d)\n",
+		total, len(res.Objects), res.NextSeq)
+
+	// Old history has been consumed by everyone; reduce the log. The
+	// materialized state is unchanged, the retained history shrinks.
+	base, trimmed, err := reconnecting.ReduceLog("feed/mag", 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("log reduced: checkpoint at seq %d, %d history events discarded\n", base, trimmed)
+	fmt.Println("datafeed complete")
+	return nil
+}

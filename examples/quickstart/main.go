@@ -1,0 +1,89 @@
+// Quickstart: start an in-process Corona server, connect two clients,
+// share state through a group, and demonstrate the late-join state
+// transfer — the core loop of the stateful group communication service.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"corona"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A stateful Corona server on an ephemeral loopback port.
+	srv, err := corona.NewServer(corona.ServerConfig{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.Start()
+	addr := srv.Addr().String()
+	fmt.Println("server listening on", addr)
+
+	// 2. Alice connects, creates a group with an initial shared object,
+	// and joins.
+	alice, err := corona.Dial(corona.ClientConfig{Addr: addr, Name: "alice"})
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+	initial := []corona.Object{{ID: "greeting", Data: []byte("hello")}}
+	if err := alice.CreateGroup("demo", false, initial); err != nil {
+		return err
+	}
+	if _, err := alice.Join("demo", corona.JoinOptions{}); err != nil {
+		return err
+	}
+
+	// 3. Alice updates the shared state twice: an incremental update
+	// (appended to the object) and a full replacement.
+	if _, err := alice.BcastUpdate("demo", "greeting", []byte(", world"), false); err != nil {
+		return err
+	}
+	if _, err := alice.BcastState("demo", "motd", []byte("Corona is up"), false); err != nil {
+		return err
+	}
+
+	// 4. Bob joins later — from the server's copy he receives the whole
+	// current state without bothering Alice at all.
+	events := make(chan corona.Event, 8)
+	bob, err := corona.Dial(corona.ClientConfig{
+		Addr: addr,
+		Name: "bob",
+		OnEvent: func(group string, ev corona.Event) {
+			events <- ev
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+	res, err := bob.Join("demo", corona.JoinOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob joined: %d members, state transferred at seq %d\n", len(res.Members), res.BaseSeq)
+	for _, o := range res.Objects {
+		fmt.Printf("  %-10s = %q\n", o.ID, o.Data)
+	}
+
+	// 5. Live multicast: Alice broadcasts, Bob receives it sequenced.
+	seq, err := alice.BcastUpdate("demo", "greeting", []byte("!"), false)
+	if err != nil {
+		return err
+	}
+	ev := <-events
+	fmt.Printf("bob received #%d (%s on %q): %q\n", ev.Seq, ev.Kind, ev.ObjectID, ev.Data)
+	if ev.Seq != seq {
+		return fmt.Errorf("sequence mismatch: sent %d, received %d", seq, ev.Seq)
+	}
+	fmt.Println("quickstart complete")
+	return nil
+}

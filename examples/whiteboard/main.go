@@ -1,0 +1,156 @@
+// Whiteboard reproduces the paper's draw tool (§5.1): "similar both to a
+// shared notebook and a whiteboard in its functionality, the draw tool
+// provides a canvas for drawing, taking notes, and importing images."
+//
+// Each stroke is a bcastUpdate appended to a per-layer object, so the
+// service accumulates the drawing history; clearing a layer is a
+// bcastState that replaces the object; and the Corona lock service
+// serializes who may clear (a destructive operation two users must not
+// race on). A reviewer joining later fetches only the layer they care
+// about (TransferObjects).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"corona"
+)
+
+// stroke is a compact binary encoding of one drawn segment.
+type stroke struct {
+	X1, Y1, X2, Y2 uint16
+	Color          byte
+}
+
+func (s stroke) encode() []byte {
+	buf := make([]byte, 9)
+	binary.BigEndian.PutUint16(buf[0:], s.X1)
+	binary.BigEndian.PutUint16(buf[2:], s.Y1)
+	binary.BigEndian.PutUint16(buf[4:], s.X2)
+	binary.BigEndian.PutUint16(buf[6:], s.Y2)
+	buf[8] = s.Color
+	return buf
+}
+
+func decodeStrokes(data []byte) []stroke {
+	var out []stroke
+	for len(data) >= 9 {
+		out = append(out, stroke{
+			X1:    binary.BigEndian.Uint16(data[0:]),
+			Y1:    binary.BigEndian.Uint16(data[2:]),
+			X2:    binary.BigEndian.Uint16(data[4:]),
+			Y2:    binary.BigEndian.Uint16(data[6:]),
+			Color: data[8],
+		})
+		data = data[9:]
+	}
+	return out
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	srv, err := corona.NewServer(corona.ServerConfig{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.Start()
+	addr := srv.Addr().String()
+
+	drawn := make(chan corona.Event, 64)
+	pat, err := corona.Dial(corona.ClientConfig{Addr: addr, Name: "pat"})
+	if err != nil {
+		return err
+	}
+	defer pat.Close()
+	quinn, err := corona.Dial(corona.ClientConfig{
+		Addr: addr, Name: "quinn",
+		OnEvent: func(_ string, ev corona.Event) { drawn <- ev },
+	})
+	if err != nil {
+		return err
+	}
+	defer quinn.Close()
+
+	// The board has two layers, seeded empty at group creation.
+	layers := []corona.Object{{ID: "layer/sketch"}, {ID: "layer/notes"}}
+	if err := pat.CreateGroup("board", true, layers); err != nil {
+		return err
+	}
+	if _, err := pat.Join("board", corona.JoinOptions{}); err != nil {
+		return err
+	}
+	if _, err := quinn.Join("board", corona.JoinOptions{}); err != nil {
+		return err
+	}
+
+	// Pat sketches; the strokes accumulate in the layer object.
+	sketch := []stroke{
+		{10, 10, 50, 10, 1},
+		{50, 10, 50, 50, 1},
+		{50, 50, 10, 50, 2},
+		{10, 50, 10, 10, 2},
+	}
+	for _, s := range sketch {
+		if _, err := pat.BcastUpdate("board", "layer/sketch", s.encode(), false); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < len(sketch); i++ {
+		ev := <-drawn
+		ss := decodeStrokes(ev.Data)
+		fmt.Printf("quinn renders stroke #%d: (%d,%d)->(%d,%d) color %d\n",
+			ev.Seq, ss[0].X1, ss[0].Y1, ss[0].X2, ss[0].Y2, ss[0].Color)
+	}
+
+	// A reviewer joins and wants only the sketch layer — not the notes,
+	// not the update history.
+	reviewer, err := corona.Dial(corona.ClientConfig{Addr: addr, Name: "reviewer"})
+	if err != nil {
+		return err
+	}
+	defer reviewer.Close()
+	res, err := reviewer.Join("board", corona.JoinOptions{
+		Role: corona.RoleObserver,
+		Policy: corona.TransferPolicy{
+			Mode:    corona.TransferObjects,
+			Objects: []string{"layer/sketch"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range res.Objects {
+		fmt.Printf("reviewer sees %s with %d strokes\n", o.ID, len(decodeStrokes(o.Data)))
+	}
+	// Observers may watch but not draw.
+	if _, err := reviewer.BcastUpdate("board", "layer/sketch", stroke{}.encode(), false); err == nil {
+		return fmt.Errorf("observer was allowed to draw")
+	} else {
+		fmt.Println("observer draw rejected as expected:", err)
+	}
+
+	// Clearing the sketch layer is destructive: take the layer lock
+	// first so concurrent clears cannot interleave with strokes.
+	granted, holder, err := pat.AcquireLock("board", "layer/sketch", true)
+	if err != nil || !granted {
+		return fmt.Errorf("lock: granted=%v holder=%d err=%v", granted, holder, err)
+	}
+	if _, err := pat.BcastState("board", "layer/sketch", nil, false); err != nil {
+		return err
+	}
+	if err := pat.ReleaseLock("board", "layer/sketch"); err != nil {
+		return err
+	}
+	ev := <-drawn
+	fmt.Printf("quinn applies clear #%d: layer now has %d strokes\n", ev.Seq, len(decodeStrokes(ev.Data)))
+	fmt.Println("whiteboard session complete")
+	return nil
+}

@@ -1,0 +1,13 @@
+package bench
+
+import "testing"
+
+func TestRunQoSSmoke(t *testing.T) {
+	res, err := RunQoS(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithPriority.Count != 10 || res.WithoutPriority.Count != 10 {
+		t.Fatalf("res = %+v", res)
+	}
+}

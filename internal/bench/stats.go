@@ -1,0 +1,67 @@
+// Package bench implements the experiment drivers that regenerate the
+// paper's evaluation (§5): Figure 3 (round-trip delay vs. number of
+// clients, stateful vs. stateless server), the message-size sweep described
+// in §5.2, Table 1 (server throughput under blasting clients), Table 2
+// (single vs. replicated service latency), and the ablations catalogued in
+// DESIGN.md. cmd/corona-bench and the top-level benchmarks both drive this
+// package, so the CLI output and `go test -bench` stay consistent.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyStats summarizes a sample of round-trip times.
+type LatencyStats struct {
+	Count  int
+	Mean   time.Duration
+	StdDev time.Duration
+	Min    time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	Max    time.Duration
+}
+
+// Summarize computes latency statistics over samples.
+func Summarize(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum float64
+	for _, s := range sorted {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(sorted))
+	var sq float64
+	for _, s := range sorted {
+		d := float64(s) - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq / float64(len(sorted)))
+
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return LatencyStats{
+		Count:  len(sorted),
+		Mean:   time.Duration(mean),
+		StdDev: time.Duration(std),
+		Min:    sorted[0],
+		P50:    pct(0.50),
+		P95:    pct(0.95),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Millis renders a duration as fractional milliseconds, the unit of the
+// paper's figures.
+func Millis(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}

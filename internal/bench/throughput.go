@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/core"
+	"corona/internal/wal"
+	"corona/internal/wire"
+)
+
+// ThroughputConfig parameterizes the Table 1 experiment: a fixed set of
+// clients multicasting as fast as possible through one Corona server.
+//
+// The paper's two table rows are two server hosts (UltraSparc vs. quad
+// Pentium II). This reproduction substitutes the axis available on one
+// machine: the stable-storage policy (memory-only vs. disk logging), which
+// probes the same question — does state logging limit throughput?
+type ThroughputConfig struct {
+	// Clients is the number of blasting members (paper: 6).
+	Clients int
+	// MsgSize is the multicast payload size (paper: 1000 and 10000).
+	MsgSize int
+	// Duration is how long the blast runs.
+	Duration time.Duration
+	// Pipeline is the number of in-flight multicasts per client.
+	Pipeline int
+	// Dir enables disk logging ("" = memory only).
+	Dir string
+	// Sync is the log durability policy when Dir is set.
+	Sync wal.SyncPolicy
+}
+
+// ThroughputResult reports the measured server throughput.
+type ThroughputResult struct {
+	// Ingested is the multicast submission rate in KB/s (what the
+	// paper's table reports: data through the server).
+	IngestedKBps float64
+	// Delivered is the aggregate fanout rate in KB/s across all
+	// members.
+	DeliveredKBps float64
+	// Messages is the number of multicasts sequenced.
+	Messages uint64
+}
+
+// RunThroughput measures one Table 1 cell.
+func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 6
+	}
+	if cfg.MsgSize <= 0 {
+		cfg.MsgSize = 1000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 8
+	}
+
+	srv, err := core.NewServer(core.Config{Engine: core.EngineConfig{
+		Dir:    cfg.Dir,
+		Sync:   cfg.Sync,
+		Logger: quietLogger(),
+		// Blasting workloads grow the history fast; reduce the way a
+		// production deployment would.
+		AutoReduceThreshold: 4096,
+	}})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer srv.Close()
+	srv.Start()
+	addr := srv.Addr().String()
+
+	const group = "blast"
+	clients := make([]*client.Client, 0, cfg.Clients)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < cfg.Clients; i++ {
+		c, err := client.Dial(client.Config{Addr: addr, Name: fmt.Sprintf("blaster-%d", i)})
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		clients = append(clients, c)
+		if i == 0 {
+			// Persistent, so the disk-logging configuration actually
+			// logs every multicast. A recovered group from a reused
+			// data directory is fine.
+			if err := c.CreateGroup(group, true, nil); err != nil {
+				var se *client.ServerError
+				if !errors.As(err, &se) || se.Code != wire.CodeGroupExists {
+					return ThroughputResult{}, err
+				}
+			}
+		}
+		if _, err := c.Join(group, client.JoinOptions{}); err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+
+	payload := make([]byte, cfg.MsgSize)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	before := srv.Engine().Stats()
+	start := time.Now()
+	for _, c := range clients {
+		for p := 0; p < cfg.Pipeline; p++ {
+			wg.Add(1)
+			go func(c *client.Client) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// bcastState, so the measured workload is a pure
+					// message stream (updates would grow one object
+					// without bound, which measures memory growth
+					// rather than the multicast path).
+					if _, err := c.BcastState(group, "o", payload, false); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := srv.Engine().Stats()
+
+	msgs := after.Bcasts - before.Bcasts
+	delivered := after.Delivered - before.Delivered
+	secs := elapsed.Seconds()
+	return ThroughputResult{
+		IngestedKBps:  float64(msgs) * float64(cfg.MsgSize) / 1024 / secs,
+		DeliveredKBps: float64(delivered) * float64(cfg.MsgSize) / 1024 / secs,
+		Messages:      msgs,
+	}, nil
+}
+
+// Table1Row is one row of the reproduced Table 1.
+type Table1Row struct {
+	Config  string
+	KBps1K  float64
+	KBps10K float64
+}
+
+// RunTable1 measures both rows (memory-only vs. disk logging) at both
+// message sizes.
+func RunTable1(clients int, duration time.Duration, dir string) ([]Table1Row, error) {
+	rows := []struct {
+		name string
+		dir  string
+		sync wal.SyncPolicy
+	}{
+		{"memory-only logging", "", wal.SyncNever},
+		{"disk logging (interval sync)", dir, wal.SyncInterval},
+	}
+	var out []Table1Row
+	for i, r := range rows {
+		row := Table1Row{Config: r.name}
+		for _, size := range []int{1000, 10000} {
+			benchDir := r.dir
+			if benchDir != "" {
+				benchDir = fmt.Sprintf("%s/t1-%d-%d", r.dir, i, size)
+			}
+			res, err := RunThroughput(ThroughputConfig{
+				Clients: clients, MsgSize: size, Duration: duration,
+				Dir: benchDir, Sync: r.sync,
+			})
+			if err != nil {
+				return out, fmt.Errorf("%s size %d: %w", r.name, size, err)
+			}
+			if size == 1000 {
+				row.KBps1K = res.IngestedKBps
+			} else {
+				row.KBps10K = res.IngestedKBps
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintTable1 renders the reproduced Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row, clients int) {
+	fmt.Fprintf(w, "Table 1: server throughput (KB/s), %d blasting clients\n", clients)
+	fmt.Fprintf(w, "(paper rows: UltraSparc vs quad Pentium II; reproduced axis: logging policy)\n")
+	fmt.Fprintf(w, "%-32s %-14s %-14s\n", "server configuration", "1000 B", "10000 B")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-32s %-14.0f %-14.0f\n", r.Config, r.KBps1K, r.KBps10K)
+	}
+}

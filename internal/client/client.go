@@ -1,0 +1,697 @@
+// Package client is the Corona client library: it connects to a Corona
+// server (standalone or any server of a replicated service), joins groups
+// with a customizable state-transfer policy, multicasts state and update
+// messages, and receives ordered deliveries and membership notifications.
+//
+// The client mirrors the downloadable applet clients of the paper: it is
+// deliberately thin — all ordering, logging, and state keeping happen at
+// the service — and it supports reconnection with incremental resync by
+// sequence number (companion-paper [15] behaviour): after a connection
+// loss, Reconnect re-dials and re-joins every group with a TransferResume
+// policy so only the missed suffix is transferred.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"corona/internal/transport"
+	"corona/internal/wire"
+)
+
+// Defaults.
+const (
+	// DefaultTimeout bounds a synchronous request round trip.
+	DefaultTimeout = 10 * time.Second
+	// DefaultDialTimeout bounds connection establishment.
+	DefaultDialTimeout = 5 * time.Second
+)
+
+// Client errors.
+var (
+	ErrClosed  = errors.New("client: closed")
+	ErrTimeout = errors.New("client: request timed out")
+)
+
+// ServerError is a request failure reported by the service.
+type ServerError struct {
+	Code wire.ErrCode
+	Text string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server error %s: %s", e.Code, e.Text)
+}
+
+// Config configures a Client.
+type Config struct {
+	// Addr is the server address.
+	Addr string
+	// Name is the display name surfaced in membership info.
+	Name string
+	// OnEvent receives live group deliveries, in total order per group.
+	// It runs on the client's read loop: it must not block and must not
+	// call synchronous Client methods.
+	OnEvent func(group string, ev wire.Event)
+	// OnMembership receives membership-change notifications for groups
+	// joined with Notify. Same constraints as OnEvent.
+	OnMembership func(n wire.MembershipNotify)
+	// OnDisconnect fires once when the connection dies (not on Close).
+	OnDisconnect func(err error)
+	// AutoReconnect re-dials automatically after a connection loss and
+	// re-joins every group with a resume transfer, retrying with
+	// exponential backoff until Close. The resync results arrive via
+	// OnResync.
+	AutoReconnect bool
+	// ReconnectBackoff is the initial retry delay for AutoReconnect
+	// (default 100 ms, doubling up to 32×).
+	ReconnectBackoff time.Duration
+	// OnResync receives the per-group resync results of a successful
+	// automatic reconnection. Runs on the reconnect goroutine.
+	OnResync func(results map[string]*JoinResult)
+	// Timeout bounds synchronous requests (default DefaultTimeout).
+	Timeout time.Duration
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// Logger receives operational logs (nil: slog.Default).
+	Logger *slog.Logger
+}
+
+// JoinOptions selects the state transfer and role for a Join.
+type JoinOptions struct {
+	// Policy is the state-transfer policy (zero value: full transfer).
+	Policy wire.TransferPolicy
+	// Role defaults to RolePrincipal.
+	Role wire.Role
+	// Notify subscribes to membership-change notifications.
+	Notify bool
+	// CreateIfMissing implicitly creates a transient group.
+	CreateIfMissing bool
+}
+
+// JoinResult is the state transfer delivered with a successful join.
+type JoinResult struct {
+	Group string
+	// Objects is the snapshot part of the transfer (full or per-object).
+	Objects []wire.Object
+	// Events is the incremental part (last-n or resume suffix).
+	Events []wire.Event
+	// BaseSeq is the sequence number the Objects incorporate.
+	BaseSeq uint64
+	// NextSeq is the first sequence number that will arrive as a live
+	// delivery.
+	NextSeq uint64
+	// Members is the group membership at join time.
+	Members []wire.MemberInfo
+}
+
+// joined records a group membership for reconnection.
+type joined struct {
+	opts    JoinOptions
+	lastSeq uint64 // highest delivered or transferred seq
+}
+
+// Client is a Corona client connection.
+type Client struct {
+	cfg Config
+	log *slog.Logger
+
+	mu       sync.Mutex
+	conn     *transport.Conn
+	id       uint64
+	serverID uint64
+	nextReq  uint64
+	pending  map[uint64]chan wire.Message
+	groups   map[string]*joined
+	closed   bool
+	readGen  int // bumped per connection; stale read loops exit quietly
+}
+
+// Dial connects and performs the Hello exchange.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	c := &Client{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		pending: make(map[uint64]chan wire.Message),
+		groups:  make(map[string]*joined),
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials and completes the handshake, then starts the read loop.
+func (c *Client) connect() error {
+	conn, err := transport.Dial(c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if err := conn.WriteMessage(&wire.Hello{RequestID: 1, Proto: wire.ProtocolVersion, Name: c.cfg.Name}); err != nil {
+		conn.Close()
+		return fmt.Errorf("client: hello: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	msg, err := conn.ReadMessage()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("client: hello ack: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	ack, ok := msg.(*wire.HelloAck)
+	if !ok {
+		conn.Close()
+		if em, isErr := msg.(*wire.ErrorMsg); isErr {
+			return &ServerError{Code: em.Code, Text: em.Text}
+		}
+		return fmt.Errorf("client: unexpected handshake reply %s", msg.Kind())
+	}
+
+	c.mu.Lock()
+	c.conn = conn
+	c.id = ack.ClientID
+	c.serverID = ack.ServerID
+	c.readGen++
+	gen := c.readGen
+	c.mu.Unlock()
+
+	go c.readLoop(conn, gen)
+	return nil
+}
+
+// ID returns the service-assigned client ID.
+func (c *Client) ID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.id
+}
+
+// ServerID returns the identity of the serving process.
+func (c *Client) ServerID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverID
+}
+
+// Close closes the connection. Pending requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.failPendingLocked()
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// failPendingLocked unblocks every waiter. Caller holds c.mu.
+func (c *Client) failPendingLocked() {
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
+// readLoop dispatches inbound messages until the connection dies.
+func (c *Client) readLoop(conn *transport.Conn, gen int) {
+	var readErr error
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			readErr = err
+			break
+		}
+		switch m := msg.(type) {
+		case *wire.Deliver:
+			c.noteDelivered(m.Group, m.Event.Seq)
+			if c.cfg.OnEvent != nil {
+				c.cfg.OnEvent(m.Group, m.Event)
+			}
+		case *wire.MembershipNotify:
+			if c.cfg.OnMembership != nil {
+				c.cfg.OnMembership(*m)
+			}
+		case *wire.Ping:
+			_ = conn.WriteMessage(&wire.Pong{Nonce: m.Nonce})
+		default:
+			c.completeRequest(msg)
+		}
+	}
+
+	c.mu.Lock()
+	stale := gen != c.readGen || c.closed
+	if !stale {
+		c.failPendingLocked()
+	}
+	c.mu.Unlock()
+	conn.Close()
+	// Any read failure on the current connection is a disconnect — an
+	// EOF here means the server went away, not that we hung up (explicit
+	// Close marks the client closed before the connection drops).
+	if stale {
+		return
+	}
+	if c.cfg.OnDisconnect != nil {
+		c.cfg.OnDisconnect(readErr)
+	}
+	if c.cfg.AutoReconnect {
+		go c.reconnectLoop()
+	}
+}
+
+// reconnectLoop retries Reconnect with exponential backoff until it
+// succeeds or the client is closed.
+func (c *Client) reconnectLoop() {
+	backoff := c.cfg.ReconnectBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	max := 32 * backoff
+	for {
+		results, err := c.Reconnect()
+		if err == nil {
+			if c.cfg.OnResync != nil {
+				c.cfg.OnResync(results)
+			}
+			return
+		}
+		if errors.Is(err, ErrClosed) {
+			return
+		}
+		c.log.Debug("reconnect failed; retrying", "err", err, "backoff", backoff)
+		time.Sleep(backoff)
+		if backoff < max {
+			backoff *= 2
+		}
+	}
+}
+
+// noteDelivered advances the per-group resume cursor.
+func (c *Client) noteDelivered(group string, seqNo uint64) {
+	c.mu.Lock()
+	if j, ok := c.groups[group]; ok && seqNo > j.lastSeq {
+		j.lastSeq = seqNo
+	}
+	c.mu.Unlock()
+}
+
+// requestID extracts the correlation ID from a reply message.
+func requestID(msg wire.Message) (uint64, bool) {
+	switch m := msg.(type) {
+	case *wire.HelloAck:
+		return m.RequestID, true
+	case *wire.CreateGroupAck:
+		return m.RequestID, true
+	case *wire.DeleteGroupAck:
+		return m.RequestID, true
+	case *wire.JoinAck:
+		return m.RequestID, true
+	case *wire.LeaveAck:
+		return m.RequestID, true
+	case *wire.MembershipInfo:
+		return m.RequestID, true
+	case *wire.BcastAck:
+		return m.RequestID, true
+	case *wire.LockReply:
+		return m.RequestID, true
+	case *wire.ReduceLogAck:
+		return m.RequestID, true
+	case *wire.GroupList:
+		return m.RequestID, true
+	case *wire.Pong:
+		return m.Nonce, true
+	case *wire.ErrorMsg:
+		return m.RequestID, true
+	default:
+		return 0, false
+	}
+}
+
+// completeRequest hands a reply to its waiter, dropping replies nobody
+// waits for (e.g. acks of fire-and-forget broadcasts).
+func (c *Client) completeRequest(msg wire.Message) {
+	id, ok := requestID(msg)
+	if !ok {
+		c.log.Debug("unexpected message", "kind", msg.Kind().String())
+		return
+	}
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- msg
+	}
+}
+
+// newRequest allocates a request ID and its reply channel.
+func (c *Client) newRequest() (uint64, chan wire.Message, *transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.conn == nil {
+		return 0, nil, nil, ErrClosed
+	}
+	c.nextReq++
+	id := c.nextReq + 1 // ID 1 is reserved for the Hello of each connect
+	ch := make(chan wire.Message, 1)
+	c.pending[id] = ch
+	return id, ch, c.conn, nil
+}
+
+// abandon removes a pending request after a send failure or timeout.
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// roundTrip sends a request and waits for its reply. build must stamp the
+// supplied request ID into the message. timeout of 0 uses the configured
+// default; negative waits forever.
+func (c *Client) roundTrip(build func(id uint64) wire.Message, timeout time.Duration) (wire.Message, error) {
+	id, ch, conn, err := c.newRequest()
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.WriteMessage(build(id)); err != nil {
+		c.abandon(id)
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	if timeout == 0 {
+		timeout = c.cfg.Timeout
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if em, isErr := msg.(*wire.ErrorMsg); isErr {
+			return nil, &ServerError{Code: em.Code, Text: em.Text}
+		}
+		return msg, nil
+	case <-timer:
+		c.abandon(id)
+		return nil, ErrTimeout
+	}
+}
+
+// CreateGroup creates a group with an optional initial shared state.
+func (c *Client) CreateGroup(name string, persistent bool, initial []wire.Object) error {
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.CreateGroup{RequestID: id, Group: name, Persistent: persistent, Initial: initial}
+	}, 0)
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*wire.CreateGroupAck); !ok {
+		return fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return nil
+}
+
+// DeleteGroup deletes a group; its shared state is lost.
+func (c *Client) DeleteGroup(name string) error {
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.DeleteGroup{RequestID: id, Group: name}
+	}, 0)
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*wire.DeleteGroupAck); !ok {
+		return fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return nil
+}
+
+// Join joins a group and returns the requested state transfer.
+func (c *Client) Join(group string, opts JoinOptions) (*JoinResult, error) {
+	if opts.Policy.Mode == 0 {
+		opts.Policy = wire.FullTransfer
+	}
+	if opts.Role == 0 {
+		opts.Role = wire.RolePrincipal
+	}
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.Join{
+			RequestID: id, Group: group, Policy: opts.Policy,
+			Role: opts.Role, Notify: opts.Notify, CreateIfMissing: opts.CreateIfMissing,
+		}
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	ack, ok := reply.(*wire.JoinAck)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	res := &JoinResult{
+		Group:   group,
+		Objects: ack.Objects,
+		Events:  ack.Events,
+		BaseSeq: ack.BaseSeq,
+		NextSeq: ack.NextSeq,
+		Members: ack.Members,
+	}
+	c.mu.Lock()
+	c.groups[group] = &joined{opts: opts, lastSeq: ack.NextSeq - 1}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Leave leaves a group.
+func (c *Client) Leave(group string) error {
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.Leave{RequestID: id, Group: group}
+	}, 0)
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*wire.LeaveAck); !ok {
+		return fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	c.mu.Lock()
+	delete(c.groups, group)
+	c.mu.Unlock()
+	return nil
+}
+
+// BcastState multicasts a complete new state for an object; it replaces the
+// object's present state at the service and at every member. Returns the
+// assigned sequence number.
+func (c *Client) BcastState(group, objectID string, data []byte, senderInclusive bool) (uint64, error) {
+	return c.bcast(group, wire.EventState, objectID, data, senderInclusive)
+}
+
+// BcastUpdate multicasts an incremental change, appended to the object's
+// existing state, preserving the history of updates. Returns the assigned
+// sequence number.
+func (c *Client) BcastUpdate(group, objectID string, data []byte, senderInclusive bool) (uint64, error) {
+	return c.bcast(group, wire.EventUpdate, objectID, data, senderInclusive)
+}
+
+func (c *Client) bcast(group string, kind wire.EventKind, objectID string, data []byte, senderInclusive bool) (uint64, error) {
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.Bcast{
+			RequestID: id, Group: group, EvKind: kind,
+			ObjectID: objectID, Data: data, SenderInclusive: senderInclusive,
+		}
+	}, 0)
+	if err != nil {
+		return 0, err
+	}
+	ack, ok := reply.(*wire.BcastAck)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return ack.Seq, nil
+}
+
+// BcastUpdateNoWait multicasts an update without waiting for the ack,
+// allowing senders to pipeline (the throughput configuration of the
+// paper's Table 1). Errors surface only as connection failures.
+func (c *Client) BcastUpdateNoWait(group, objectID string, data []byte, senderInclusive bool) error {
+	c.mu.Lock()
+	conn := c.conn
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || conn == nil {
+		return ErrClosed
+	}
+	return conn.WriteMessage(&wire.Bcast{
+		Group: group, EvKind: wire.EventUpdate,
+		ObjectID: objectID, Data: data, SenderInclusive: senderInclusive,
+	})
+}
+
+// Membership queries a group's current membership.
+func (c *Client) Membership(group string) ([]wire.MemberInfo, error) {
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.GetMembership{RequestID: id, Group: group}
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	info, ok := reply.(*wire.MembershipInfo)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return info.Members, nil
+}
+
+// ListGroups returns the names of all groups at the service.
+func (c *Client) ListGroups() ([]string, error) {
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.ListGroups{RequestID: id}
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	gl, ok := reply.(*wire.GroupList)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return gl.Groups, nil
+}
+
+// AcquireLock acquires a named lock within a group. With wait true the call
+// blocks (without the default timeout) until the lock is granted; with wait
+// false it returns immediately, reporting the current holder on denial.
+func (c *Client) AcquireLock(group, name string, wait bool) (granted bool, holder uint64, err error) {
+	timeout := time.Duration(0)
+	if wait {
+		timeout = -1
+	}
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.LockAcquire{RequestID: id, Group: group, Name: name, Wait: wait}
+	}, timeout)
+	if err != nil {
+		return false, 0, err
+	}
+	lr, ok := reply.(*wire.LockReply)
+	if !ok {
+		return false, 0, fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return lr.Granted, lr.Holder, nil
+}
+
+// ReleaseLock releases a held lock.
+func (c *Client) ReleaseLock(group, name string) error {
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.LockRelease{RequestID: id, Group: group, Name: name}
+	}, 0)
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*wire.LockReply); !ok {
+		return fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return nil
+}
+
+// ReduceLog asks the service to trim a group's update history up to
+// upToSeq (0: up to the latest), returning the new checkpoint base and the
+// number of entries discarded.
+func (c *Client) ReduceLog(group string, upToSeq uint64) (baseSeq, trimmed uint64, err error) {
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.ReduceLog{RequestID: id, Group: group, UpToSeq: upToSeq}
+	}, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	ack, ok := reply.(*wire.ReduceLogAck)
+	if !ok {
+		return 0, 0, fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return ack.BaseSeq, ack.Trimmed, nil
+}
+
+// Ping measures a service round trip.
+func (c *Client) Ping() (time.Duration, error) {
+	start := time.Now()
+	reply, err := c.roundTrip(func(id uint64) wire.Message {
+		return &wire.Ping{Nonce: id}
+	}, 0)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := reply.(*wire.Pong); !ok {
+		return 0, fmt.Errorf("client: unexpected reply %s", reply.Kind())
+	}
+	return time.Since(start), nil
+}
+
+// DropConnection severs the transport without closing the client, exactly
+// as a network failure would. Tests and failure drills use it together
+// with Reconnect.
+func (c *Client) DropConnection() {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// Reconnect re-dials after a connection loss and re-joins every group the
+// client was a member of, using a resume transfer so only the events missed
+// while disconnected are fetched. The missed events (or full snapshots, if
+// the suffix was reduced away at the service) are returned per group for
+// the application to apply.
+func (c *Client) Reconnect() (map[string]*JoinResult, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.failPendingLocked()
+	rejoin := make(map[string]JoinOptions, len(c.groups))
+	for name, j := range c.groups {
+		opts := j.opts
+		opts.Policy = wire.TransferPolicy{Mode: wire.TransferResume, FromSeq: j.lastSeq + 1}
+		rejoin[name] = opts
+	}
+	c.mu.Unlock()
+
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	results := make(map[string]*JoinResult, len(rejoin))
+	for name, opts := range rejoin {
+		res, err := c.Join(name, opts)
+		if err != nil {
+			return results, fmt.Errorf("client: rejoin %q: %w", name, err)
+		}
+		results[name] = res
+	}
+	return results, nil
+}

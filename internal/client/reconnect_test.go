@@ -1,0 +1,136 @@
+package client_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/core"
+	"corona/internal/faultnet"
+	"corona/internal/view"
+	"corona/internal/wire"
+)
+
+// TestAutoReconnectResync drives the full client fault-tolerance loop: the
+// network drops, events are missed, the client reconnects automatically
+// with exponential backoff, resynchronizes the missed suffix, and the
+// materialized view ends bit-identical with the service's state.
+func TestAutoReconnectResync(t *testing.T) {
+	srv, err := core.NewServer(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+
+	proxy, err := faultnet.New("127.0.0.1:0", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// A writer connected directly (unaffected by the fault).
+	writer, err := client.Dial(client.Config{Addr: srv.Addr().String(), Name: "writer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	if err := writer.CreateGroup("g", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Join("g", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The flaky client goes through the proxy, with auto-reconnect and a
+	// view absorbing both live events and resync results.
+	v := view.New()
+	var mu sync.Mutex
+	resynced := make(chan struct{}, 1)
+	disconnected := make(chan struct{}, 1)
+	flaky, err := client.Dial(client.Config{
+		Addr: proxy.Addr(), Name: "flaky",
+		AutoReconnect:    true,
+		ReconnectBackoff: 20 * time.Millisecond,
+		OnEvent: func(_ string, ev wire.Event) {
+			mu.Lock()
+			_ = v.ApplyEvent(ev)
+			mu.Unlock()
+		},
+		OnDisconnect: func(error) {
+			select {
+			case disconnected <- struct{}{}:
+			default:
+			}
+		},
+		OnResync: func(results map[string]*client.JoinResult) {
+			mu.Lock()
+			for _, res := range results {
+				_ = v.ApplyJoin(res)
+			}
+			mu.Unlock()
+			select {
+			case resynced <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flaky.Close()
+	res, err := flaky.Join("g", client.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	_ = v.ApplyJoin(res)
+	mu.Unlock()
+
+	if _, err := writer.BcastUpdate("g", "o", []byte("live|"), false); err != nil {
+		t.Fatal(err)
+	}
+	waitForView(t, v, &mu, "o", "live|")
+
+	// Network failure: the flaky client misses two events.
+	proxy.Cut()
+	<-disconnected
+	if _, err := writer.BcastUpdate("g", "o", []byte("miss1|"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.BcastUpdate("g", "o", []byte("miss2|"), false); err != nil {
+		t.Fatal(err)
+	}
+	proxy.Heal()
+
+	select {
+	case <-resynced:
+	case <-time.After(10 * time.Second):
+		t.Fatal("auto-reconnect never resynced")
+	}
+	waitForView(t, v, &mu, "o", "live|miss1|miss2|")
+
+	// Live traffic continues seamlessly after the resync.
+	if _, err := writer.BcastUpdate("g", "o", []byte("post|"), false); err != nil {
+		t.Fatal(err)
+	}
+	waitForView(t, v, &mu, "o", "live|miss1|miss2|post|")
+}
+
+func waitForView(t *testing.T, v *view.View, mu *sync.Mutex, object, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		data, _ := v.Get(object)
+		mu.Unlock()
+		if string(data) == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("view %q = %q, want %q", object, data, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,155 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/wire"
+)
+
+// TestBackupKeepsStateAliveAcrossServerCrash is the paper's availability
+// argument (§4.1): "At least two copies of the state exist at any moment,
+// in order to provide a hot standby in the case of a crash." The only
+// server hosting a group's members dies; a client joining later through
+// another server must still receive the complete state, served from the
+// elected backup replica.
+func TestBackupKeepsStateAliveAcrossServerCrash(t *testing.T) {
+	tc := startCluster(t, 3)
+
+	// All members live on servers[0]; the coordinator elects a backup on
+	// another server.
+	a := dialTo(t, tc.servers[0], "a", nil)
+	if err := a.CreateGroup("g", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Join("g", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := a.BcastUpdate("g", "doc", []byte{byte('a' + i)}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until a backup replica on another server has caught up.
+	waitFor(t, 10*time.Second, func() bool {
+		for _, s := range tc.servers[1:] {
+			if _, cp, ok := s.Engine().GroupImage("g"); ok && cp.NextSeq == 6 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Kill the only member-hosting server abruptly.
+	tc.servers[0].Close()
+	waitFor(t, 10*time.Second, func() bool { return tc.coord.ServerCount() == 2 })
+
+	// A fresh client joins through a surviving server: the state must be
+	// complete, served from the backup.
+	b := dialTo(t, tc.servers[1], "b", nil)
+	var res *client.JoinResult
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		res, err = b.Join("g", client.JoinOptions{})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("join after crash: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(res.Objects) != 1 || string(res.Objects[0].Data) != "abcde" {
+		t.Fatalf("state after hosting-server crash = %+v", res.Objects)
+	}
+	// And the group keeps sequencing where it left off.
+	seq, err := b.BcastUpdate("g", "doc", []byte("f"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("seq after crash = %d, want 6", seq)
+	}
+}
+
+// TestTransientGroupVanishesClusterWide checks the transient rule across
+// servers: when the last member (anywhere) leaves, the group dies on the
+// coordinator, so later joins fail everywhere.
+func TestTransientGroupVanishesClusterWide(t *testing.T) {
+	tc := startCluster(t, 2)
+	a := dialTo(t, tc.servers[0], "a", nil)
+	if err := a.CreateGroup("t", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Join("t", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	b := dialTo(t, tc.servers[1], "b", nil)
+	if _, err := b.Join("t", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Leave("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Leave("t"); err != nil {
+		t.Fatal(err)
+	}
+	// "A transient group ceases to exist when it has no members, and its
+	// shared state is lost" — cluster-wide: once the reap propagates,
+	// every replica (including the creation-time standing backup) is
+	// gone and a plain rejoin fails.
+	waitFor(t, 5*time.Second, func() bool {
+		return !tc.coord.HasGroup("t") &&
+			!tc.servers[0].Engine().HasGroup("t") &&
+			!tc.servers[1].Engine().HasGroup("t")
+	})
+	_, err := b.Join("t", client.JoinOptions{})
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeNoSuchGroup {
+		t.Fatalf("rejoin of vanished transient group: %v", err)
+	}
+	// The name is reusable: CreateIfMissing starts a fresh incarnation.
+	res, err := b.Join("t", client.JoinOptions{CreateIfMissing: true})
+	if err != nil {
+		t.Fatalf("fresh incarnation: %v", err)
+	}
+	if res.NextSeq != 1 || len(res.Members) != 1 {
+		t.Fatalf("fresh incarnation state = %+v", res)
+	}
+}
+
+// TestObserverRoleAcrossServers checks role enforcement when the observer
+// and the principals live on different servers.
+func TestObserverRoleAcrossServers(t *testing.T) {
+	tc := startCluster(t, 2)
+	writer := dialTo(t, tc.servers[0], "writer", nil)
+	if err := writer.CreateGroup("g", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Join("g", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	obs := dialTo(t, tc.servers[1], "obs", nil)
+	if _, err := obs.Join("g", client.JoinOptions{Role: wire.RoleObserver}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.BcastUpdate("g", "o", []byte("nope"), false); err == nil {
+		t.Fatal("remote observer allowed to multicast")
+	}
+	// The observer still receives deliveries.
+	sink := newSink()
+	obs2 := dialTo(t, tc.servers[1], "obs2", sink)
+	if _, err := obs2.Join("g", client.JoinOptions{Role: wire.RoleObserver}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.BcastUpdate("g", "o", []byte("data"), false); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.wait(t, 1)
+	if string(events[0].Data) != "data" {
+		t.Fatalf("observer delivery = %q", events[0].Data)
+	}
+}

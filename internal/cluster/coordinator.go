@@ -1,0 +1,962 @@
+// Package cluster implements the replicated Corona service (paper §4): a
+// star topology in which one server acts as coordinator — the sequencer
+// imposing a total, causal, per-sender-FIFO order on each group's
+// multicasts — and the other servers are its clients. Each group is split
+// across servers: a server keeps a replica of a group's shared state only
+// while it hosts members of that group (or holds an elected backup), and
+// broadcasts are routed only to interested servers.
+//
+// Failure handling follows §4.2: heartbeats with timeouts detect crashed
+// servers; the coordinator removes them and reassigns backups; when the
+// coordinator itself dies, the first live server in the boot-ordered server
+// list claims the role after an escalating timeout and rules once a
+// majority of the remaining servers acknowledges.
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"corona/internal/seq"
+	"corona/internal/state"
+	"corona/internal/transport"
+	"corona/internal/wire"
+)
+
+// Defaults for the failure detector.
+const (
+	DefaultHeartbeatInterval = 250 * time.Millisecond
+	DefaultPeerTimeout       = 4 * DefaultHeartbeatInterval
+)
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// ID is the coordinator's server identity (default 1).
+	ID uint64
+	// PeerAddr is the address servers connect to (default "127.0.0.1:0").
+	PeerAddr string
+	// HeartbeatInterval is the liveness probe period.
+	HeartbeatInterval time.Duration
+	// PeerTimeout declares a silent server dead.
+	PeerTimeout time.Duration
+	// Epoch is the coordinator's ruling epoch; a freshly elected
+	// coordinator passes the epoch it won.
+	Epoch uint64
+	// NoListen embeds the coordinator into an existing peer listener: no
+	// accept loop runs, and connections arrive via ServeRegistration. A
+	// promoted cluster server uses this.
+	NoListen bool
+	// Logger receives operational logs (nil: slog.Default).
+	Logger *slog.Logger
+	// Now supplies timestamps (nil: time.Now).
+	Now func() time.Time
+	// OnDivergence decides how a post-partition divergence is settled
+	// (paper §4.2: roll back, adopt one of the updated states, or evolve
+	// as two groups). Nil applies the default: roll the rejoining server
+	// back when another replica holds the authoritative state, adopt the
+	// server's version otherwise.
+	OnDivergence func(DivergenceReport) wire.Resolution
+}
+
+// DivergenceReport describes a detected post-partition divergence: a
+// rejoining server reports a history for a group that cannot be an
+// extension of the history this coordinator sequenced.
+type DivergenceReport struct {
+	Group    string
+	ServerID uint64
+	// ServerNextSeq/ServerDigest describe the rejoining server's replica.
+	ServerNextSeq uint64
+	ServerDigest  uint64
+	// CoordNextSeq/CoordDigest describe the authoritative history.
+	CoordNextSeq uint64
+	CoordDigest  uint64
+	// OtherReplicas reports how many other servers hold the group, which
+	// the default resolution uses.
+	OtherReplicas int
+}
+
+// peer is one registered server.
+type peer struct {
+	info     wire.ServerInfo
+	conn     *transport.Conn
+	pump     *transport.Pump
+	lastSeen time.Time
+}
+
+func (p *peer) send(msg wire.Message) {
+	if err := p.pump.Send(transport.EncodeFrame(nil, msg)); err != nil {
+		_ = p.conn.Close() // read loop notices and deregisters
+	}
+}
+
+// interest records one server's stake in a group.
+type interest struct {
+	members uint64
+	backup  bool
+	// pending marks a backup designation the server has not confirmed
+	// yet: it cannot serve state requests until its replica exists.
+	pending bool
+}
+
+// groupMeta is the coordinator's registry entry for one group.
+type groupMeta struct {
+	persistent bool
+	// interest maps server ID to that server's stake.
+	interest map[uint64]*interest
+	// members is the global membership, in join order.
+	members []wire.MemberInfo
+	// memberSrv maps client ID to the hosting server, so a server crash
+	// can fail its members.
+	memberSrv map[uint64]uint64
+	// sequenced records whether this coordinator sequenced any event for
+	// the group in its reign; only then can a server's seq report
+	// conflict rather than merely recover state.
+	sequenced bool
+	// digest is the history digest of the authoritative event chain.
+	digest uint64
+	// authority, when nonzero, names the server whose replica state
+	// requests should prefer (set after a divergence adoption).
+	authority uint64
+}
+
+func newGroupMeta(persistent bool) *groupMeta {
+	return &groupMeta{
+		persistent: persistent,
+		interest:   make(map[uint64]*interest),
+		memberSrv:  make(map[uint64]uint64),
+	}
+}
+
+// statePending tracks one proxied state request.
+type statePending struct {
+	origin    uint64
+	requestID uint64
+}
+
+// Coordinator is the sequencing hub of a replicated Corona service.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	log *slog.Logger
+
+	listener *transport.Listener
+
+	mu        sync.Mutex
+	epoch     uint64
+	peers     map[uint64]*peer
+	nextBoot  uint64
+	groups    map[string]*groupMeta
+	seqr      *seq.Sequencer
+	pending   map[uint64]statePending
+	nextProxy uint64
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator and opens its peer listener, but does
+// not start serving; call Start.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.ID == 0 {
+		cfg.ID = 1
+	}
+	if cfg.PeerAddr == "" {
+		cfg.PeerAddr = "127.0.0.1:0"
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = DefaultPeerTimeout
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	var l *transport.Listener
+	if !cfg.NoListen {
+		var err error
+		l, err = transport.Listen(cfg.PeerAddr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		listener: l,
+		epoch:    cfg.Epoch,
+		peers:    make(map[uint64]*peer),
+		groups:   make(map[string]*groupMeta),
+		seqr:     seq.New(cfg.Now),
+		pending:  make(map[uint64]statePending),
+		stop:     make(chan struct{}),
+	}
+	return c, nil
+}
+
+// Start begins accepting servers and running the failure detector.
+func (c *Coordinator) Start() {
+	if c.listener != nil {
+		c.wg.Add(1)
+		go c.acceptLoop()
+	}
+	c.wg.Add(1)
+	go c.heartbeatLoop()
+}
+
+// Addr returns the peer listen address servers should dial. Embedded
+// (NoListen) coordinators have no address of their own.
+func (c *Coordinator) Addr() string {
+	if c.listener == nil {
+		return ""
+	}
+	return c.listener.Addr().String()
+}
+
+// Epoch returns the coordinator's ruling epoch.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// ServerCount returns the number of registered servers.
+func (c *Coordinator) ServerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers)
+}
+
+// GroupSeq returns the coordinator's next sequence number for a group.
+func (c *Coordinator) GroupSeq(group string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seqr.Peek(group)
+}
+
+// HasGroup reports whether the group is registered at the coordinator.
+func (c *Coordinator) HasGroup(group string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.groups[group]
+	return ok
+}
+
+// Close stops the coordinator and disconnects every server.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	peers := make([]*peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.mu.Unlock()
+
+	close(c.stop)
+	var err error
+	if c.listener != nil {
+		err = c.listener.Close()
+	}
+	for _, p := range peers {
+		_ = p.conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.servePeer(conn)
+		}()
+	}
+}
+
+// servePeer runs one server connection: registration, then the forwarding
+// loop until the link drops.
+func (c *Coordinator) servePeer(conn *transport.Conn) {
+	defer conn.Close()
+	msg, err := conn.ReadMessage()
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(*wire.SHello)
+	if !ok {
+		// Possibly an election probe hitting a live coordinator: nack
+		// so the candidate knows the incumbent rules.
+		if el, isElect := msg.(*wire.SElect); isElect {
+			c.mu.Lock()
+			epoch := c.epoch
+			c.mu.Unlock()
+			_ = conn.WriteMessage(&wire.SElectReply{
+				VoterID: c.cfg.ID, CandidateID: el.CandidateID, Epoch: epoch, Ack: false,
+				CoordAddr: c.Addr(),
+			})
+		}
+		return
+	}
+	c.ServeRegistration(conn, hello)
+}
+
+// ServeRegistration runs a server connection whose SHello has already been
+// read. A promoted cluster server routes registrations from its shared peer
+// listener here; the coordinator's own accept loop uses it too. The call
+// blocks until the link drops.
+func (c *Coordinator) ServeRegistration(conn *transport.Conn, hello *wire.SHello) {
+	p := c.register(conn, hello)
+	if p == nil {
+		return
+	}
+	c.log.Info("server registered", "server", p.info.ID, "addr", p.info.Addr, "boot", p.info.BootOrder)
+
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			break
+		}
+		c.handlePeerMessage(p, msg)
+	}
+	c.deregister(p, "link lost")
+}
+
+// register adds a server and distributes the updated server list.
+func (c *Coordinator) register(conn *transport.Conn, hello *wire.SHello) *peer {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	if old, ok := c.peers[hello.ServerID]; ok {
+		// A reconnecting server replaces its stale link.
+		_ = old.conn.Close()
+		old.pump.Close()
+		delete(c.peers, hello.ServerID)
+	}
+	boot := c.nextBoot
+	c.nextBoot++
+	p := &peer{
+		info:     wire.ServerInfo{ID: hello.ServerID, Addr: hello.Addr, BootOrder: boot},
+		conn:     conn,
+		pump:     transport.NewPump(conn, 0),
+		lastSeen: c.cfg.Now(),
+	}
+	c.peers[p.info.ID] = p
+	ack := &wire.SHelloAck{
+		RequestID:     hello.RequestID,
+		CoordinatorID: c.cfg.ID,
+		Epoch:         c.epoch,
+		BootOrder:     boot,
+		Servers:       c.serverListLocked(),
+	}
+	c.mu.Unlock()
+
+	p.send(ack)
+	c.broadcastServerList()
+	return p
+}
+
+// serverListLocked snapshots the registered servers sorted by boot order.
+// Caller holds c.mu.
+func (c *Coordinator) serverListLocked() []wire.ServerInfo {
+	out := make([]wire.ServerInfo, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, p.info)
+	}
+	sortServers(out)
+	return out
+}
+
+func sortServers(ss []wire.ServerInfo) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].BootOrder < ss[j-1].BootOrder; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// broadcastServerList pushes the membership of the server set itself.
+func (c *Coordinator) broadcastServerList() {
+	c.mu.Lock()
+	list := &wire.SServerList{CoordinatorID: c.cfg.ID, Epoch: c.epoch, Servers: c.serverListLocked()}
+	peers := c.peersLocked()
+	c.mu.Unlock()
+	for _, p := range peers {
+		p.send(list)
+	}
+}
+
+// peersLocked snapshots the peer set. Caller holds c.mu.
+func (c *Coordinator) peersLocked() []*peer {
+	out := make([]*peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// deregister removes a dead server, fails its members group by group, and
+// re-elects backups.
+func (c *Coordinator) deregister(p *peer, reason string) {
+	c.mu.Lock()
+	if c.closed {
+		// Shutdown: do not cascade shrinking server lists to peers whose
+		// links are about to die anyway — a crashed coordinator would
+		// send nothing, and a partial list would mislead the elections
+		// that follow.
+		c.mu.Unlock()
+		p.pump.Close()
+		return
+	}
+	cur, ok := c.peers[p.info.ID]
+	if !ok || cur != p {
+		c.mu.Unlock()
+		return // replaced by a reconnect; nothing to clean
+	}
+	delete(c.peers, p.info.ID)
+	c.log.Warn("server lost", "server", p.info.ID, "reason", reason)
+
+	type lostMember struct {
+		group string
+		info  wire.MemberInfo
+	}
+	var lost []lostMember
+	var backupChecks []string
+	for name, meta := range c.groups {
+		if _, had := meta.interest[p.info.ID]; had {
+			delete(meta.interest, p.info.ID)
+			backupChecks = append(backupChecks, name)
+		}
+		kept := meta.members[:0]
+		for _, m := range meta.members {
+			if meta.memberSrv[m.ClientID] == p.info.ID {
+				delete(meta.memberSrv, m.ClientID)
+				lost = append(lost, lostMember{group: name, info: m})
+				continue
+			}
+			kept = append(kept, m)
+		}
+		meta.members = kept
+	}
+	c.mu.Unlock()
+
+	p.pump.Close()
+	for _, lm := range lost {
+		c.redistributeMemberUpdate(p.info.ID, lm.group, wire.MemberCrashed, lm.info)
+	}
+	for _, g := range backupChecks {
+		c.ensureBackup(g)
+	}
+	c.broadcastServerList()
+}
+
+func (c *Coordinator) handlePeerMessage(p *peer, msg wire.Message) {
+	c.mu.Lock()
+	p.lastSeen = c.cfg.Now()
+	c.mu.Unlock()
+
+	switch m := msg.(type) {
+	case *wire.SForward:
+		c.handleForward(m)
+	case *wire.SInterest:
+		c.handleInterest(p, m)
+	case *wire.SMemberUpdate:
+		c.handleMemberUpdate(m)
+	case *wire.SGroupOp:
+		c.handleGroupOp(p, m)
+	case *wire.SStateRequest:
+		c.handleStateRequest(p, m)
+	case *wire.SStateResponse:
+		c.handleStateResponse(m)
+	case *wire.SHeartbeat:
+		// lastSeen already bumped.
+	case *wire.SSeqReport:
+		c.handleSeqReport(p, m)
+	case *wire.SGroupsQuery:
+		c.mu.Lock()
+		groups := make([]string, 0, len(c.groups))
+		for name := range c.groups {
+			groups = append(groups, name)
+		}
+		c.mu.Unlock()
+		sort.Strings(groups)
+		p.send(&wire.SGroupsReport{RequestID: m.RequestID, Groups: groups})
+	case *wire.SElectReply:
+		// Stale election traffic; ignore.
+	default:
+		c.log.Warn("unexpected peer message", "kind", msg.Kind().String(), "server", p.info.ID)
+	}
+}
+
+// handleForward sequences one multicast and distributes it to every
+// interested server.
+func (c *Coordinator) handleForward(m *wire.SForward) {
+	c.mu.Lock()
+	meta, ok := c.groups[m.Group]
+	if !ok {
+		// Can happen briefly after a failover, before every server
+		// re-registered its groups. Create a placeholder; persistence
+		// is corrected by the owning server's seq report.
+		meta = newGroupMeta(false)
+		c.groups[m.Group] = meta
+	}
+	ev := m.Event
+	ev.Seq, ev.Time = c.seqr.Next(m.Group)
+	meta.sequenced = true
+	meta.digest = state.DigestEvent(meta.digest, ev)
+	dist := &wire.SDistribute{
+		Group:           m.Group,
+		Event:           ev,
+		SenderInclusive: m.SenderInclusive,
+		Origin:          m.Origin,
+		RequestID:       m.RequestID,
+	}
+	targets := make([]*peer, 0, len(meta.interest))
+	for id := range meta.interest {
+		if p, ok := c.peers[id]; ok {
+			targets = append(targets, p)
+		}
+	}
+	c.mu.Unlock()
+
+	frame := transport.EncodeFrame(nil, dist)
+	for _, p := range targets {
+		if err := p.pump.Send(frame); err != nil {
+			_ = p.conn.Close()
+		}
+	}
+}
+
+// handleInterest records a server's stake in a group and keeps the
+// at-least-two-replicas invariant.
+func (c *Coordinator) handleInterest(p *peer, m *wire.SInterest) {
+	c.mu.Lock()
+	meta, ok := c.groups[m.Group]
+	if !ok {
+		c.mu.Unlock()
+		if m.Interested {
+			// The group was deleted (or reaped as an emptied transient
+			// group) while this server raced to acquire a replica: tell
+			// it to drop the zombie instead of resurrecting the group.
+			p.send(&wire.SGroupOp{Op: wire.GroupOpDelete, Group: m.Group})
+		}
+		return
+	}
+	if m.Interested {
+		meta.interest[m.ServerID] = &interest{members: m.Members, backup: m.Backup}
+	} else {
+		delete(meta.interest, m.ServerID)
+	}
+	c.mu.Unlock()
+	c.ensureBackup(m.Group)
+}
+
+// ensureBackup enforces the paper's availability rule: "At least two copies
+// of the state exist at any moment... When there is only one replica which
+// supports members of a group, a backup is elected from one of the other
+// servers."
+func (c *Coordinator) ensureBackup(group string) {
+	c.mu.Lock()
+	meta, ok := c.groups[group]
+	if !ok || len(c.peers) < 2 {
+		c.mu.Unlock()
+		return
+	}
+	if len(meta.interest) != 1 {
+		c.mu.Unlock()
+		return
+	}
+	var only uint64
+	for id := range meta.interest {
+		only = id
+	}
+	// Pick the first live server (by boot order) that is not the sole
+	// replica.
+	var chosen *peer
+	for _, info := range c.serverListLocked() {
+		if info.ID != only {
+			chosen = c.peers[info.ID]
+			break
+		}
+	}
+	if chosen == nil {
+		c.mu.Unlock()
+		return
+	}
+	// Record the designation optimistically so repeated interest updates
+	// do not re-elect; pending until the server confirms the replica.
+	meta.interest[chosen.info.ID] = &interest{backup: true, pending: true}
+	c.mu.Unlock()
+
+	c.log.Info("backup elected", "group", group, "server", chosen.info.ID)
+	chosen.send(&wire.SInterest{ServerID: chosen.info.ID, Group: group, Interested: true, Backup: true})
+}
+
+// handleMemberUpdate maintains the global membership and redistributes the
+// change to the other interested servers.
+func (c *Coordinator) handleMemberUpdate(m *wire.SMemberUpdate) {
+	c.mu.Lock()
+	meta, ok := c.groups[m.Group]
+	if !ok {
+		meta = newGroupMeta(false)
+		c.groups[m.Group] = meta
+	}
+	switch m.Change {
+	case wire.MemberJoined:
+		// Reconnecting servers re-announce their members; dedupe.
+		duplicate := false
+		for _, mm := range meta.members {
+			if mm.ClientID == m.Member.ClientID {
+				duplicate = true
+				break
+			}
+		}
+		if !duplicate {
+			meta.members = append(meta.members, m.Member)
+		}
+		meta.memberSrv[m.Member.ClientID] = m.ServerID
+	default: // left or crashed
+		for i, mm := range meta.members {
+			if mm.ClientID == m.Member.ClientID {
+				meta.members = append(meta.members[:i], meta.members[i+1:]...)
+				break
+			}
+		}
+		delete(meta.memberSrv, m.Member.ClientID)
+	}
+	reap := !meta.persistent && len(meta.members) == 0 && m.Change != wire.MemberJoined
+	var reapTargets []*peer
+	if reap {
+		// The paper's transient rule, cluster-wide: "a transient group
+		// ceases to exist when it has no members, and its shared state
+		// is lost." Remove the registry entry and tell every server to
+		// drop leftover replicas (the creation-time standing backup).
+		delete(c.groups, m.Group)
+		c.seqr.Drop(m.Group)
+		reapTargets = c.peersLocked()
+	}
+	c.mu.Unlock()
+
+	if reap {
+		c.log.Info("transient group ceased to exist", "group", m.Group)
+		del := &wire.SGroupOp{Op: wire.GroupOpDelete, Group: m.Group}
+		for _, p := range reapTargets {
+			p.send(del)
+		}
+		return
+	}
+	c.redistributeMemberUpdate(m.ServerID, m.Group, m.Change, m.Member)
+}
+
+// redistributeMemberUpdate pushes a membership change to every interested
+// server except the originator (which already notified its local members).
+func (c *Coordinator) redistributeMemberUpdate(origin uint64, group string, change wire.MembershipChange, member wire.MemberInfo) {
+	c.mu.Lock()
+	meta, ok := c.groups[group]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	var targets []*peer
+	for id := range meta.interest {
+		if id == origin {
+			continue
+		}
+		if p, ok := c.peers[id]; ok {
+			targets = append(targets, p)
+		}
+	}
+	msg := &wire.SMemberUpdate{ServerID: origin, Group: group, Change: change, Member: member}
+	c.mu.Unlock()
+	for _, p := range targets {
+		p.send(msg)
+	}
+}
+
+// handleGroupOp applies a create/delete, redistributes it to every server,
+// and acks the origin.
+func (c *Coordinator) handleGroupOp(p *peer, m *wire.SGroupOp) {
+	c.mu.Lock()
+	ack := &wire.SGroupOpAck{RequestID: m.RequestID, OK: true}
+	switch m.Op {
+	case wire.GroupOpCreate:
+		if _, exists := c.groups[m.Group]; exists {
+			ack.OK = false
+			ack.Code = wire.CodeGroupExists
+			ack.Text = fmt.Sprintf("group %q exists", m.Group)
+		} else {
+			c.groups[m.Group] = newGroupMeta(m.Persistent)
+		}
+	case wire.GroupOpDelete:
+		if _, exists := c.groups[m.Group]; !exists {
+			ack.OK = false
+			ack.Code = wire.CodeNoSuchGroup
+			ack.Text = fmt.Sprintf("no group %q", m.Group)
+		} else {
+			delete(c.groups, m.Group)
+			c.seqr.Drop(m.Group)
+		}
+	default:
+		ack.OK = false
+		ack.Code = wire.CodeBadRequest
+		ack.Text = "unknown group op"
+	}
+	var targets []*peer
+	if ack.OK {
+		switch m.Op {
+		case wire.GroupOpCreate:
+			// Only the origin installs the new group: it becomes the
+			// initial replica holder. Other servers acquire the group
+			// on demand (first local join or backup designation).
+			if origin, ok := c.peers[m.Origin]; ok {
+				targets = append(targets, origin)
+			}
+		default:
+			// Deletes reach every server so stale replicas die.
+			targets = c.peersLocked()
+		}
+	}
+	c.mu.Unlock()
+
+	// Redistribute before acking: the origin's link is FIFO, so it
+	// installs the group before completing its client's request.
+	for _, t := range targets {
+		t.send(m)
+	}
+	p.send(ack)
+}
+
+// handleStateRequest serves a replica-acquisition request: the coordinator
+// answers empty groups directly and proxies the rest to a server that holds
+// the state.
+func (c *Coordinator) handleStateRequest(p *peer, m *wire.SStateRequest) {
+	c.mu.Lock()
+	meta, ok := c.groups[m.Group]
+	if !ok {
+		c.mu.Unlock()
+		p.send(&wire.SStateResponse{RequestID: m.RequestID, Group: m.Group, OK: false})
+		return
+	}
+	// Choose a source replica other than the requester, preferring the
+	// post-divergence authority when one is recorded.
+	var source *peer
+	if meta.authority != 0 && meta.authority != p.info.ID {
+		if sp, ok := c.peers[meta.authority]; ok {
+			source = sp
+		}
+	}
+	if source == nil {
+		for id, in := range meta.interest {
+			if id == p.info.ID || in.pending || (in.members == 0 && !in.backup) {
+				continue
+			}
+			if sp, ok := c.peers[id]; ok {
+				source = sp
+				break
+			}
+		}
+	}
+	if source == nil {
+		// No replica anywhere: the group exists but is empty. Answer
+		// directly from the registry.
+		resp := &wire.SStateResponse{
+			RequestID:  m.RequestID,
+			Group:      m.Group,
+			OK:         true,
+			Persistent: meta.persistent,
+			NextSeq:    c.seqr.Peek(m.Group),
+			Members:    append([]wire.MemberInfo(nil), meta.members...),
+		}
+		if resp.NextSeq == 0 {
+			resp.NextSeq = 1
+		}
+		resp.BaseSeq = resp.NextSeq - 1
+		c.mu.Unlock()
+		p.send(resp)
+		return
+	}
+	c.nextProxy++
+	proxyID := c.nextProxy
+	c.pending[proxyID] = statePending{origin: p.info.ID, requestID: m.RequestID}
+	c.mu.Unlock()
+
+	source.send(&wire.SStateRequest{RequestID: proxyID, Group: m.Group, FromSeq: m.FromSeq})
+}
+
+// handleStateResponse relays a proxied state response back to the
+// requesting server, annotated with the global membership.
+func (c *Coordinator) handleStateResponse(m *wire.SStateResponse) {
+	c.mu.Lock()
+	pend, ok := c.pending[m.RequestID]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pending, m.RequestID)
+	origin, live := c.peers[pend.origin]
+	if meta, ok := c.groups[m.Group]; ok {
+		m.Members = append([]wire.MemberInfo(nil), meta.members...)
+		m.Persistent = meta.persistent
+	}
+	m.RequestID = pend.requestID
+	c.mu.Unlock()
+
+	if live {
+		origin.send(m)
+	}
+}
+
+// handleSeqReport folds a server's high-water marks into the sequencer —
+// the recovery step a freshly elected coordinator depends on — and checks
+// each reported group for post-partition divergence: a server whose
+// history cannot extend the history this coordinator sequenced must be
+// reconciled (paper §4.2).
+func (c *Coordinator) handleSeqReport(p *peer, m *wire.SSeqReport) {
+	type pendingDivergence struct {
+		report     DivergenceReport
+		resolution wire.Resolution
+		others     []*peer
+	}
+	var diverged []pendingDivergence
+
+	c.mu.Lock()
+	for _, g := range m.Groups {
+		meta, ok := c.groups[g.Group]
+		if !ok {
+			meta = newGroupMeta(g.Persistent)
+			c.groups[g.Group] = meta
+		}
+		if g.Persistent {
+			meta.persistent = true
+		}
+		coordNext := c.seqr.Peek(g.Group)
+		conflict := meta.sequenced && g.Digest != 0 &&
+			((g.NextSeq > coordNext) ||
+				(g.NextSeq == coordNext && meta.digest != 0 && g.Digest != meta.digest))
+		if !conflict {
+			// Plain recovery: fold the server's high-water mark in.
+			if g.NextSeq > coordNext {
+				c.seqr.Observe(g.Group, g.NextSeq-1)
+				meta.digest = g.Digest
+			} else if g.NextSeq == coordNext && meta.digest == 0 {
+				meta.digest = g.Digest
+			}
+			continue
+		}
+
+		report := DivergenceReport{
+			Group:         g.Group,
+			ServerID:      m.ServerID,
+			ServerNextSeq: g.NextSeq,
+			ServerDigest:  g.Digest,
+			CoordNextSeq:  coordNext,
+			CoordDigest:   meta.digest,
+		}
+		var others []*peer
+		for id := range meta.interest {
+			if id == m.ServerID {
+				continue
+			}
+			if op, live := c.peers[id]; live {
+				others = append(others, op)
+			}
+		}
+		report.OtherReplicas = len(others)
+		resolution := c.resolveDivergence(report)
+		switch resolution {
+		case wire.ResolutionAdopt:
+			c.seqr.Observe(g.Group, g.NextSeq-1)
+			meta.digest = g.Digest
+			meta.authority = m.ServerID
+		case wire.ResolutionFork, wire.ResolutionRollback:
+			// The authoritative history stays as is.
+		}
+		diverged = append(diverged, pendingDivergence{report: report, resolution: resolution, others: others})
+	}
+	c.mu.Unlock()
+
+	for _, d := range diverged {
+		c.log.Warn("divergence detected",
+			"group", d.report.Group, "server", d.report.ServerID,
+			"server-seq", d.report.ServerNextSeq, "coord-seq", d.report.CoordNextSeq,
+			"resolution", d.resolution.String())
+		switch d.resolution {
+		case wire.ResolutionAdopt:
+			// The rejoining server's version wins: every other replica
+			// rolls back to it.
+			for _, op := range d.others {
+				op.send(&wire.SDivergence{Group: d.report.Group, Resolution: wire.ResolutionRollback})
+			}
+		case wire.ResolutionFork:
+			fork := fmt.Sprintf("%s.fork-%d", d.report.Group, d.report.ServerID)
+			p.send(&wire.SDivergence{Group: d.report.Group, Resolution: wire.ResolutionFork, ForkName: fork})
+		default:
+			p.send(&wire.SDivergence{Group: d.report.Group, Resolution: wire.ResolutionRollback})
+		}
+	}
+}
+
+// resolveDivergence applies the configured (or default) resolution policy.
+// Caller holds c.mu.
+func (c *Coordinator) resolveDivergence(r DivergenceReport) wire.Resolution {
+	if c.cfg.OnDivergence != nil {
+		if res := c.cfg.OnDivergence(r); res >= wire.ResolutionRollback && res <= wire.ResolutionFork {
+			return res
+		}
+	}
+	// Default: roll the rejoining server back when an authoritative
+	// replica survives elsewhere; adopt its version when it holds the
+	// only copy.
+	if r.OtherReplicas > 0 {
+		return wire.ResolutionRollback
+	}
+	return wire.ResolutionAdopt
+}
+
+// heartbeatLoop probes the servers and reaps the silent ones.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		now := c.cfg.Now()
+		hb := &wire.SHeartbeat{ServerID: c.cfg.ID, Epoch: c.epoch, Time: now.UnixNano()}
+		var alive, dead []*peer
+		for _, p := range c.peers {
+			if now.Sub(p.lastSeen) > c.cfg.PeerTimeout {
+				dead = append(dead, p)
+				continue
+			}
+			alive = append(alive, p)
+		}
+		c.mu.Unlock()
+		for _, p := range alive {
+			p.send(hb)
+		}
+		for _, p := range dead {
+			_ = p.conn.Close() // the read loop deregisters
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"sync"
+
+	"corona/internal/wire"
+)
+
+// memberMirror is a server's copy of the global membership of every group
+// it replicates. The coordinator owns the authoritative view; servers
+// maintain the mirror from SMemberUpdate traffic and from the membership
+// snapshot attached to state fetches. JoinAck membership and GetMembership
+// answers come from here, so clients of any server see the whole group.
+//
+// The hosting server of every member is derived from the client ID, which
+// the engine composes as serverID<<40|counter (core.Engine.newClientID);
+// that makes the mirror reconcilable after failovers without extra wire
+// metadata.
+type memberMirror struct {
+	mu     sync.Mutex
+	groups map[string][]wire.MemberInfo
+}
+
+// hostOf extracts the hosting server from a client ID.
+func hostOf(clientID uint64) uint64 { return clientID >> 40 }
+
+func newMemberMirror() *memberMirror {
+	return &memberMirror{groups: make(map[string][]wire.MemberInfo)}
+}
+
+// seed installs the membership snapshot of a freshly acquired group.
+func (m *memberMirror) seed(group string, members []wire.MemberInfo) {
+	m.mu.Lock()
+	m.groups[group] = append([]wire.MemberInfo(nil), members...)
+	m.mu.Unlock()
+}
+
+// apply folds one membership change in and returns the group's new size.
+func (m *memberMirror) apply(group string, _ uint64, change wire.MembershipChange, member wire.MemberInfo) uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entries := m.groups[group]
+	switch change {
+	case wire.MemberJoined:
+		for _, e := range entries {
+			if e.ClientID == member.ClientID {
+				return uint32(len(entries)) // duplicate join replay
+			}
+		}
+		entries = append(entries, member)
+	default: // left or crashed
+		for i, e := range entries {
+			if e.ClientID == member.ClientID {
+				entries = append(entries[:i], entries[i+1:]...)
+				break
+			}
+		}
+	}
+	m.groups[group] = entries
+	return uint32(len(entries))
+}
+
+// lookup returns the global membership of a group (core.Hooks
+// MembersOverride signature).
+func (m *memberMirror) lookup(group string) ([]wire.MemberInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entries, ok := m.groups[group]
+	if !ok {
+		return nil, false
+	}
+	return append([]wire.MemberInfo(nil), entries...), true
+}
+
+// localOf returns, per group, the members hosted by the given server. Used
+// to re-register members with a freshly elected coordinator.
+func (m *memberMirror) localOf(serverID uint64) map[string][]wire.MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]wire.MemberInfo)
+	for group, entries := range m.groups {
+		for _, e := range entries {
+			if hostOf(e.ClientID) == serverID {
+				out[group] = append(out[group], e)
+			}
+		}
+	}
+	return out
+}
+
+// drop forgets a deleted or released group.
+func (m *memberMirror) drop(group string) {
+	m.mu.Lock()
+	delete(m.groups, group)
+	m.mu.Unlock()
+}
+
+// purgeAbsent removes members hosted by servers that are no longer part of
+// the cluster and returns them per group, so the caller can fire crash
+// notifications. It reconciles the awareness view after failovers in which
+// a member-hosting server died together with the coordinator, leaving no
+// one to report its members lost.
+func (m *memberMirror) purgeAbsent(live map[uint64]bool) map[string][]wire.MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var removed map[string][]wire.MemberInfo
+	for group, entries := range m.groups {
+		kept := entries[:0]
+		for _, e := range entries {
+			if live[hostOf(e.ClientID)] {
+				kept = append(kept, e)
+				continue
+			}
+			if removed == nil {
+				removed = make(map[string][]wire.MemberInfo)
+			}
+			removed[group] = append(removed[group], e)
+		}
+		m.groups[group] = kept
+	}
+	return removed
+}

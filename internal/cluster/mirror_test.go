@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"corona/internal/wire"
+)
+
+func mi(serverID, n uint64, name string) wire.MemberInfo {
+	return wire.MemberInfo{ClientID: serverID<<40 | n, Name: name, Role: wire.RolePrincipal}
+}
+
+func TestMirrorApplyLookup(t *testing.T) {
+	m := newMemberMirror()
+	if _, ok := m.lookup("g"); ok {
+		t.Fatal("lookup found a missing group")
+	}
+	if count := m.apply("g", 2, wire.MemberJoined, mi(2, 1, "a")); count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	if count := m.apply("g", 3, wire.MemberJoined, mi(3, 1, "b")); count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	// Duplicate join replay is idempotent.
+	if count := m.apply("g", 2, wire.MemberJoined, mi(2, 1, "a")); count != 2 {
+		t.Fatalf("duplicate join count = %d", count)
+	}
+	if count := m.apply("g", 2, wire.MemberLeft, mi(2, 1, "a")); count != 1 {
+		t.Fatalf("after leave = %d", count)
+	}
+	ms, ok := m.lookup("g")
+	if !ok || len(ms) != 1 || ms[0].Name != "b" {
+		t.Fatalf("lookup = %v %v", ms, ok)
+	}
+}
+
+func TestMirrorSeedAndLocalOf(t *testing.T) {
+	m := newMemberMirror()
+	m.seed("g", []wire.MemberInfo{mi(2, 1, "a"), mi(3, 1, "b")})
+	m.apply("g", 3, wire.MemberJoined, mi(3, 2, "c"))
+
+	local := m.localOf(3)
+	if len(local["g"]) != 2 {
+		t.Fatalf("localOf(3) = %v", local)
+	}
+	names := []string{local["g"][0].Name, local["g"][1].Name}
+	if !reflect.DeepEqual(names, []string{"b", "c"}) {
+		t.Fatalf("localOf names = %v", names)
+	}
+	if len(m.localOf(9)) != 0 {
+		t.Fatal("localOf found members of an unknown server")
+	}
+}
+
+func TestMirrorPurgeAbsent(t *testing.T) {
+	m := newMemberMirror()
+	m.seed("g", []wire.MemberInfo{mi(2, 1, "a"), mi(3, 1, "b")})
+	m.seed("h", []wire.MemberInfo{mi(2, 2, "c")})
+
+	removed := m.purgeAbsent(map[uint64]bool{3: true})
+	if len(removed["g"]) != 1 || removed["g"][0].Name != "a" {
+		t.Fatalf("removed g = %v", removed["g"])
+	}
+	if len(removed["h"]) != 1 || removed["h"][0].Name != "c" {
+		t.Fatalf("removed h = %v", removed["h"])
+	}
+	ms, _ := m.lookup("g")
+	if len(ms) != 1 || ms[0].Name != "b" {
+		t.Fatalf("g after purge = %v", ms)
+	}
+	// No-op purge returns nil.
+	if removed := m.purgeAbsent(map[uint64]bool{3: true}); removed != nil {
+		t.Fatalf("second purge removed %v", removed)
+	}
+}
+
+func TestMirrorLookupIsolation(t *testing.T) {
+	m := newMemberMirror()
+	m.seed("g", []wire.MemberInfo{mi(2, 1, "a")})
+	ms, _ := m.lookup("g")
+	ms[0].Name = "tampered"
+	again, _ := m.lookup("g")
+	if again[0].Name != "a" {
+		t.Fatal("lookup aliases internal state")
+	}
+}
+
+func TestMirrorDrop(t *testing.T) {
+	m := newMemberMirror()
+	m.seed("g", []wire.MemberInfo{mi(2, 1, "a")})
+	m.drop("g")
+	if _, ok := m.lookup("g"); ok {
+		t.Fatal("dropped group still present")
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	if hostOf(2<<40|77) != 2 || hostOf(7) != 0 {
+		t.Fatal("hostOf miscomputes")
+	}
+}

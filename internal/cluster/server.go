@@ -1,0 +1,970 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"corona/internal/core"
+	"corona/internal/state"
+	"corona/internal/transport"
+	"corona/internal/wire"
+)
+
+// ServerConfig configures a member server of a replicated Corona service.
+type ServerConfig struct {
+	// ID is the server's stable identity (required, unique, nonzero).
+	ID uint64
+	// ClientAddr is the address clients connect to (default ephemeral
+	// loopback).
+	ClientAddr string
+	// PeerAddr is the address other servers reach this one at, used for
+	// election probes and, after a promotion, coordinator duty (default
+	// ephemeral loopback).
+	PeerAddr string
+	// CoordinatorAddr is the coordinator's peer address.
+	CoordinatorAddr string
+	// Engine carries the engine configuration. ServerID is overwritten
+	// with ID, and cluster hooks are installed.
+	Engine core.EngineConfig
+	// HeartbeatInterval is the liveness probe period toward the
+	// coordinator.
+	HeartbeatInterval time.Duration
+	// CoordinatorTimeout declares a silent coordinator dead.
+	CoordinatorTimeout time.Duration
+	// ElectionBackoff is the per-rank escalation unit of §4.2: the
+	// server ranked r in the boot-ordered list waits (r+1)·backoff
+	// before claiming the coordinator role, so a system of k+1 servers
+	// tolerates k simultaneous crashes.
+	ElectionBackoff time.Duration
+	// DisableElection keeps the server reconnecting to the configured
+	// coordinator forever instead of running elections (useful for
+	// benchmarks and for deployments with an external supervisor).
+	DisableElection bool
+	// RequestTimeout bounds coordinated operations (group ops, state
+	// fetches).
+	RequestTimeout time.Duration
+	// Logger receives operational logs (nil: slog.Default).
+	Logger *slog.Logger
+}
+
+// Server errors.
+var (
+	ErrNoCoordinator = errors.New("cluster: no coordinator link")
+	ErrServerClosed  = errors.New("cluster: server closed")
+	errOpTimeout     = errors.New("cluster: coordinated operation timed out")
+)
+
+// Server is one member server of a replicated Corona service: it serves
+// clients like a standalone Corona server, but defers sequencing and group
+// coordination to the coordinator, keeps replicas only of the groups its
+// clients use, and participates in coordinator succession.
+type Server struct {
+	cfg ServerConfig
+	log *slog.Logger
+
+	engine   *core.Engine
+	frontend *core.Server
+	peerLn   *transport.Listener
+	mirror   *memberMirror
+
+	// coordChanged wakes the link loop when an election announced a new
+	// coordinator.
+	coordChanged chan struct{}
+
+	mu         sync.Mutex
+	link       *transport.Conn
+	pump       *transport.Pump
+	coordAddr  string
+	coordID    uint64
+	epoch      uint64
+	votedEpoch uint64
+	bootOrder  uint64
+	servers    []wire.ServerInfo
+	pendingOps map[uint64]chan wire.Message
+	nextReq    uint64
+	backups    map[string]bool
+	promoted   *Coordinator
+	linkUp     bool
+	closed     bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewServer builds a member server: engine, client listener, and peer
+// listener. Call Start to connect to the coordinator and begin serving.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.ID == 0 {
+		return nil, errors.New("cluster: ServerConfig.ID is required")
+	}
+	if cfg.CoordinatorAddr == "" {
+		return nil, errors.New("cluster: ServerConfig.CoordinatorAddr is required")
+	}
+	if cfg.ClientAddr == "" {
+		cfg.ClientAddr = "127.0.0.1:0"
+	}
+	if cfg.PeerAddr == "" {
+		cfg.PeerAddr = "127.0.0.1:0"
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if cfg.CoordinatorTimeout <= 0 {
+		cfg.CoordinatorTimeout = DefaultPeerTimeout
+	}
+	if cfg.ElectionBackoff <= 0 {
+		cfg.ElectionBackoff = 500 * time.Millisecond
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+
+	s := &Server{
+		cfg:          cfg,
+		log:          cfg.Logger.With("server", cfg.ID),
+		mirror:       newMemberMirror(),
+		coordAddr:    cfg.CoordinatorAddr,
+		pendingOps:   make(map[uint64]chan wire.Message),
+		backups:      make(map[string]bool),
+		coordChanged: make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+	}
+
+	engCfg := cfg.Engine
+	engCfg.ServerID = cfg.ID
+	engCfg.Logger = s.log
+	engCfg.Hooks = core.Hooks{
+		Forward:            s.forward,
+		OnMembershipChange: s.onMembershipChange,
+		MembersOverride:    s.mirror.lookup,
+		Intercept:          s.intercept,
+	}
+	engine, err := core.NewEngine(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.engine = engine
+
+	frontend, err := core.NewServerWithEngine(engine, cfg.ClientAddr)
+	if err != nil {
+		engine.Close()
+		return nil, err
+	}
+	s.frontend = frontend
+
+	peerLn, err := transport.Listen(cfg.PeerAddr)
+	if err != nil {
+		frontend.Close()
+		return nil, err
+	}
+	s.peerLn = peerLn
+	return s, nil
+}
+
+// Start connects to the coordinator and begins serving clients. It returns
+// after the first registration succeeds or fails; the link is maintained in
+// the background either way.
+func (s *Server) Start() error {
+	s.frontend.Start()
+	s.wg.Add(1)
+	go s.peerAcceptLoop()
+
+	err := s.connectCoordinator(s.cfg.CoordinatorAddr)
+	s.wg.Add(2)
+	go s.linkLoop()
+	go s.heartbeatLoop()
+	return err
+}
+
+// ClientAddr returns the address clients should dial.
+func (s *Server) ClientAddr() string { return s.frontend.Addr().String() }
+
+// PeerAddr returns this server's peer address.
+func (s *Server) PeerAddr() string { return s.peerLn.Addr().String() }
+
+// Engine exposes the underlying engine.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// IsCoordinator reports whether this server has been promoted.
+func (s *Server) IsCoordinator() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted != nil
+}
+
+// Promoted returns the embedded coordinator after a promotion, or nil.
+func (s *Server) Promoted() *Coordinator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted
+}
+
+// Epoch returns the highest coordinator epoch this server has seen.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Close stops the server: clients are disconnected, the coordinator link is
+// dropped, and a promoted coordinator is shut down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	link := s.link
+	promoted := s.promoted
+	s.failPendingLocked()
+	s.mu.Unlock()
+
+	close(s.stop)
+	_ = s.peerLn.Close()
+	if link != nil {
+		_ = link.Close()
+	}
+	err := s.frontend.Close()
+	if promoted != nil {
+		_ = promoted.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) failPendingLocked() {
+	for id, ch := range s.pendingOps {
+		close(ch)
+		delete(s.pendingOps, id)
+	}
+}
+
+// ---- coordinator link ----
+
+// connectCoordinator dials addr, registers, and installs the link.
+func (s *Server) connectCoordinator(addr string) error {
+	conn, err := transport.Dial(addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	epoch := s.epoch
+	s.mu.Unlock()
+	if err := conn.WriteMessage(&wire.SHello{RequestID: 1, ServerID: s.cfg.ID, Addr: s.PeerAddr(), Epoch: epoch}); err != nil {
+		conn.Close()
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := conn.ReadMessage()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	ack, ok := msg.(*wire.SHelloAck)
+	if !ok {
+		conn.Close()
+		return fmt.Errorf("cluster: unexpected registration reply %s", msg.Kind())
+	}
+
+	s.mu.Lock()
+	if ack.Epoch < s.epoch {
+		// A stale incumbent (e.g. the old coordinator back from a
+		// partition) must not reclaim this server.
+		s.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("cluster: stale coordinator epoch %d < %d", ack.Epoch, s.epoch)
+	}
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return ErrServerClosed
+	}
+	if s.link != nil {
+		_ = s.link.Close()
+	}
+	if s.pump != nil {
+		s.pump.Close()
+	}
+	s.link = conn
+	s.pump = transport.NewPump(conn, 0)
+	s.coordAddr = addr
+	s.coordID = ack.CoordinatorID
+	s.epoch = ack.Epoch
+	s.bootOrder = ack.BootOrder
+	s.servers = ack.Servers
+	s.linkUp = true
+	s.mu.Unlock()
+
+	s.log.Info("registered with coordinator", "addr", addr, "epoch", ack.Epoch, "boot", ack.BootOrder)
+	s.reRegisterState()
+	return nil
+}
+
+// reRegisterState pushes this server's groups, interests, and members to
+// the (possibly freshly elected) coordinator.
+func (s *Server) reRegisterState() {
+	report := s.engine.SeqReport()
+	if len(report) > 0 {
+		s.sendToCoordinator(&wire.SSeqReport{ServerID: s.cfg.ID, Groups: report})
+	}
+	for _, g := range report {
+		s.mu.Lock()
+		backup := s.backups[g.Group]
+		s.mu.Unlock()
+		s.sendToCoordinator(&wire.SInterest{
+			ServerID: s.cfg.ID, Group: g.Group,
+			Interested: true, Members: g.Members, Backup: backup,
+		})
+	}
+	for group, members := range s.mirror.localOf(s.cfg.ID) {
+		for _, m := range members {
+			s.sendToCoordinator(&wire.SMemberUpdate{
+				ServerID: s.cfg.ID, Group: group, Change: wire.MemberJoined, Member: m,
+			})
+		}
+	}
+	// Catch up every replica: events sequenced while this server was
+	// disconnected (e.g. during a coordinator failover) are fetched from
+	// the surviving replicas.
+	for _, g := range report {
+		group := g.Group
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.catchUp(group)
+		}()
+	}
+}
+
+// sendToCoordinator enqueues a message on the coordinator link. It never
+// blocks; failures surface as a dropped link.
+func (s *Server) sendToCoordinator(msg wire.Message) bool {
+	s.mu.Lock()
+	pump := s.pump
+	link := s.link
+	up := s.linkUp
+	s.mu.Unlock()
+	if !up || pump == nil {
+		return false
+	}
+	if err := pump.Send(transport.EncodeFrame(nil, msg)); err != nil {
+		if link != nil {
+			_ = link.Close()
+		}
+		return false
+	}
+	return true
+}
+
+// linkLoop owns the coordinator link: it reads messages, and on loss runs
+// the reconnection/election procedure until a coordinator rules again.
+func (s *Server) linkLoop() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		link := s.link
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		if link != nil {
+			s.readLink(link)
+		}
+		s.mu.Lock()
+		s.linkUp = false
+		s.link = nil
+		closed = s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		if !s.recoverCoordinator() {
+			return
+		}
+	}
+}
+
+// readLink consumes messages from the coordinator until the link errors.
+func (s *Server) readLink(link *transport.Conn) {
+	for {
+		msg, err := link.ReadMessage()
+		if err != nil {
+			return
+		}
+		s.handleCoordinatorMessage(msg)
+	}
+}
+
+func (s *Server) handleCoordinatorMessage(msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.SDistribute:
+		s.handleDistribute(m)
+	case *wire.SMemberUpdate:
+		s.handleRemoteMemberUpdate(m)
+	case *wire.SGroupOp:
+		s.applyGroupOp(m)
+	case *wire.SGroupOpAck:
+		s.completeOp(m.RequestID, m)
+	case *wire.SStateResponse:
+		s.completeOp(m.RequestID, m)
+	case *wire.SGroupsReport:
+		s.completeOp(m.RequestID, m)
+	case *wire.SStateRequest:
+		s.serveStateRequest(m)
+	case *wire.SServerList:
+		s.mu.Lock()
+		s.servers = m.Servers
+		s.epoch = m.Epoch
+		s.coordID = m.CoordinatorID
+		s.mu.Unlock()
+		// Reconcile awareness: members hosted by servers that are gone
+		// (e.g. a server that died together with the old coordinator)
+		// have no one left to report them crashed.
+		live := map[uint64]bool{m.CoordinatorID: true, s.cfg.ID: true}
+		for _, info := range m.Servers {
+			live[info.ID] = true
+		}
+		for group, members := range s.mirror.purgeAbsent(live) {
+			for _, member := range members {
+				count := uint32(0)
+				if ms, ok := s.mirror.lookup(group); ok {
+					count = uint32(len(ms))
+				}
+				s.engine.NotifyMembership(group, wire.MemberCrashed, member, count)
+			}
+		}
+	case *wire.SHeartbeat:
+		s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: m.Epoch, Time: time.Now().UnixNano()})
+	case *wire.SInterest:
+		// Coordinator-to-server interest is a backup designation.
+		if m.Interested && m.Backup {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.becomeBackup(m.Group)
+			}()
+		}
+	case *wire.SDivergence:
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.settleDivergence(m)
+		}()
+	default:
+		s.log.Warn("unexpected coordinator message", "kind", msg.Kind().String())
+	}
+}
+
+// handleDistribute applies one sequenced event; a sequence gap triggers a
+// catch-up fetch of the missed suffix.
+func (s *Server) handleDistribute(m *wire.SDistribute) {
+	reqID := uint64(0)
+	if m.Origin == s.cfg.ID {
+		reqID = m.RequestID
+	}
+	err := s.engine.ApplyDistribute(m.Group, m.Event, m.SenderInclusive, reqID)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, core.ErrSeqGap) {
+		s.log.Warn("sequence gap; catching up", "group", m.Group, "seq", m.Event.Seq)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.catchUp(m.Group)
+			// Re-apply the event that revealed the gap.
+			_ = s.engine.ApplyDistribute(m.Group, m.Event, m.SenderInclusive, reqID)
+		}()
+		return
+	}
+	s.log.Warn("distribute failed", "group", m.Group, "err", err)
+}
+
+// catchUp fetches and applies the event suffix this replica is missing.
+// Transient failures (e.g. a designated backup that has not finished its
+// own acquisition yet) are retried briefly.
+func (s *Server) catchUp(group string) {
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):
+			}
+		}
+		var img state.Checkpointed
+		_, _, img, err = s.fetchState(group, s.nextSeqOf(group))
+		if err != nil {
+			continue
+		}
+		if len(img.History) > 0 {
+			if applyErr := s.engine.ApplyEvents(group, img.History); applyErr != nil {
+				s.log.Warn("catch-up apply failed", "group", group, "err", applyErr)
+			}
+		}
+		return
+	}
+	s.log.Warn("catch-up failed", "group", group, "err", err)
+}
+
+func (s *Server) nextSeqOf(group string) uint64 {
+	for _, g := range s.engine.SeqReport() {
+		if g.Group == group {
+			return g.NextSeq
+		}
+	}
+	return 1
+}
+
+// handleRemoteMemberUpdate folds a membership change from another server
+// into the mirror and notifies local subscribers.
+func (s *Server) handleRemoteMemberUpdate(m *wire.SMemberUpdate) {
+	count := s.mirror.apply(m.Group, m.ServerID, m.Change, m.Member)
+	s.engine.NotifyMembership(m.Group, m.Change, m.Member, count)
+}
+
+// applyGroupOp installs a coordinator-ordered group create/delete. Creates
+// reach only the origin server, which becomes the group's initial replica
+// holder (a standing backup, so the state survives even before any member
+// joins and state fetches have a source).
+func (s *Server) applyGroupOp(m *wire.SGroupOp) {
+	switch m.Op {
+	case wire.GroupOpCreate:
+		if err := s.engine.CreateGroupDirect(m.Group, m.Persistent, m.Initial); err != nil {
+			s.log.Warn("group create failed", "group", m.Group, "err", err)
+			return
+		}
+		s.mu.Lock()
+		s.backups[m.Group] = true
+		s.mu.Unlock()
+		s.mirror.seed(m.Group, nil)
+		s.sendToCoordinator(&wire.SInterest{
+			ServerID: s.cfg.ID, Group: m.Group, Interested: true, Backup: true,
+		})
+	case wire.GroupOpDelete:
+		s.mirror.drop(m.Group)
+		s.mu.Lock()
+		delete(s.backups, m.Group)
+		s.mu.Unlock()
+		if err := s.engine.DeleteGroupDirect(m.Group); err != nil {
+			s.log.Debug("group delete skipped", "group", m.Group, "err", err)
+		}
+	}
+}
+
+// serveStateRequest answers a proxied replica-acquisition request with this
+// server's copy of the group.
+func (s *Server) serveStateRequest(m *wire.SStateRequest) {
+	resp := &wire.SStateResponse{RequestID: m.RequestID, Group: m.Group}
+	if m.FromSeq > 0 {
+		if events, nextSeq, ok := s.engine.EventsSince(m.Group, m.FromSeq); ok {
+			resp.OK = true
+			resp.Events = events
+			resp.NextSeq = nextSeq
+			resp.BaseSeq = m.FromSeq - 1
+			s.sendToCoordinator(resp)
+			return
+		}
+		// Suffix unavailable; fall through to a full image.
+	}
+	persistent, cp, ok := s.engine.GroupImage(m.Group)
+	if ok {
+		resp.OK = true
+		resp.Persistent = persistent
+		resp.BaseSeq = cp.BaseSeq
+		resp.NextSeq = cp.NextSeq
+		resp.Digest = cp.Digest
+		resp.Objects = cp.Objects
+		resp.Events = cp.History
+	}
+	s.sendToCoordinator(resp)
+}
+
+// ---- coordinated requests ----
+
+// newOp registers a pending coordinated operation.
+func (s *Server) newOp() (uint64, chan wire.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, ErrServerClosed
+	}
+	if !s.linkUp {
+		return 0, nil, ErrNoCoordinator
+	}
+	s.nextReq++
+	id := s.nextReq
+	ch := make(chan wire.Message, 1)
+	s.pendingOps[id] = ch
+	return id, ch, nil
+}
+
+func (s *Server) completeOp(id uint64, msg wire.Message) {
+	s.mu.Lock()
+	ch, ok := s.pendingOps[id]
+	if ok {
+		delete(s.pendingOps, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- msg
+	}
+}
+
+func (s *Server) abandonOp(id uint64) {
+	s.mu.Lock()
+	delete(s.pendingOps, id)
+	s.mu.Unlock()
+}
+
+// awaitOp waits for a coordinated operation's reply.
+func (s *Server) awaitOp(id uint64, ch chan wire.Message) (wire.Message, error) {
+	t := time.NewTimer(s.cfg.RequestTimeout)
+	defer t.Stop()
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return nil, ErrServerClosed
+		}
+		return msg, nil
+	case <-t.C:
+		s.abandonOp(id)
+		return nil, errOpTimeout
+	case <-s.stop:
+		s.abandonOp(id)
+		return nil, ErrServerClosed
+	}
+}
+
+// listGroupsGlobal queries the coordinator's group registry.
+func (s *Server) listGroupsGlobal() ([]string, error) {
+	id, ch, err := s.newOp()
+	if err != nil {
+		return nil, err
+	}
+	if !s.sendToCoordinator(&wire.SGroupsQuery{RequestID: id}) {
+		s.abandonOp(id)
+		return nil, ErrNoCoordinator
+	}
+	msg, err := s.awaitOp(id, ch)
+	if err != nil {
+		return nil, err
+	}
+	report, ok := msg.(*wire.SGroupsReport)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unexpected groups reply %s", msg.Kind())
+	}
+	return report.Groups, nil
+}
+
+// groupOp runs a coordinator-ordered group create/delete.
+func (s *Server) groupOp(op wire.GroupOpKind, group string, persistent bool, initial []wire.Object) (*wire.SGroupOpAck, error) {
+	id, ch, err := s.newOp()
+	if err != nil {
+		return nil, err
+	}
+	ok := s.sendToCoordinator(&wire.SGroupOp{
+		RequestID: id, Origin: s.cfg.ID, Op: op,
+		Group: group, Persistent: persistent, Initial: initial,
+	})
+	if !ok {
+		s.abandonOp(id)
+		return nil, ErrNoCoordinator
+	}
+	msg, err := s.awaitOp(id, ch)
+	if err != nil {
+		return nil, err
+	}
+	ack, isAck := msg.(*wire.SGroupOpAck)
+	if !isAck {
+		return nil, fmt.Errorf("cluster: unexpected group-op reply %s", msg.Kind())
+	}
+	return ack, nil
+}
+
+// fetchState acquires a group image (or suffix from fromSeq) through the
+// coordinator.
+func (s *Server) fetchState(group string, fromSeq uint64) (persistent bool, members []wire.MemberInfo, cp state.Checkpointed, err error) {
+	id, ch, err := s.newOp()
+	if err != nil {
+		return false, nil, state.Checkpointed{}, err
+	}
+	if !s.sendToCoordinator(&wire.SStateRequest{RequestID: id, Group: group, FromSeq: fromSeq}) {
+		s.abandonOp(id)
+		return false, nil, state.Checkpointed{}, ErrNoCoordinator
+	}
+	msg, err := s.awaitOp(id, ch)
+	if err != nil {
+		return false, nil, state.Checkpointed{}, err
+	}
+	resp, isResp := msg.(*wire.SStateResponse)
+	if !isResp {
+		return false, nil, state.Checkpointed{}, fmt.Errorf("cluster: unexpected state reply %s", msg.Kind())
+	}
+	if !resp.OK {
+		return false, nil, state.Checkpointed{}, fmt.Errorf("cluster: group %q unavailable", group)
+	}
+	cp = state.Checkpointed{
+		BaseSeq: resp.BaseSeq,
+		NextSeq: resp.NextSeq,
+		Digest:  resp.Digest,
+		Objects: resp.Objects,
+		History: resp.Events,
+	}
+	return resp.Persistent, resp.Members, cp, nil
+}
+
+// acquireGroup makes this server a replica of an existing group: fetch the
+// state through the coordinator, install it, seed the membership mirror,
+// and register interest.
+func (s *Server) acquireGroup(group string) error {
+	persistent, members, cp, err := s.fetchState(group, 0)
+	if err != nil {
+		return err
+	}
+	if err := s.engine.InstallGroup(group, persistent, cp); err != nil {
+		return err
+	}
+	s.mirror.seed(group, members)
+	s.sendToCoordinator(&wire.SInterest{ServerID: s.cfg.ID, Group: group, Interested: true, Members: 0})
+	return nil
+}
+
+// becomeBackup answers a coordinator backup designation: acquire the group
+// (if needed) and confirm the backup interest.
+func (s *Server) becomeBackup(group string) {
+	s.mu.Lock()
+	s.backups[group] = true
+	s.mu.Unlock()
+	if !s.engine.HasGroup(group) {
+		if err := s.acquireGroup(group); err != nil {
+			s.log.Warn("backup acquisition failed", "group", group, "err", err)
+			return
+		}
+	}
+	s.sendToCoordinator(&wire.SInterest{
+		ServerID: s.cfg.ID, Group: group, Interested: true,
+		Members: uint64(s.engine.LocalMembers(group)), Backup: true,
+	})
+	s.log.Info("backup replica installed", "group", group)
+}
+
+// settleDivergence applies a coordinator divergence instruction to a local
+// replica that evolved independently during a partition (paper §4.2).
+func (s *Server) settleDivergence(m *wire.SDivergence) {
+	switch m.Resolution {
+	case wire.ResolutionFork:
+		// Preserve the local version as a new group, then roll the
+		// original back to the authoritative history.
+		persistent, cp, ok := s.engine.GroupImage(m.Group)
+		if ok && m.ForkName != "" {
+			ack, err := s.groupOp(wire.GroupOpCreate, m.ForkName, persistent, nil)
+			if err != nil {
+				s.log.Warn("fork create failed", "group", m.Group, "fork", m.ForkName, "err", err)
+			} else if ack.OK || ack.Code == wire.CodeGroupExists {
+				if err := s.engine.InstallGroup(m.ForkName, persistent, cp); err != nil {
+					s.log.Warn("fork install failed", "fork", m.ForkName, "err", err)
+				} else {
+					s.mirror.seed(m.ForkName, nil)
+					s.sendToCoordinator(&wire.SSeqReport{ServerID: s.cfg.ID, Groups: []wire.GroupSeq{{
+						Group: m.ForkName, NextSeq: cp.NextSeq, Digest: cp.Digest, Persistent: persistent,
+					}}})
+					s.sendToCoordinator(&wire.SInterest{
+						ServerID: s.cfg.ID, Group: m.ForkName, Interested: true, Backup: true,
+					})
+					s.log.Info("diverged history preserved as fork", "group", m.Group, "fork", m.ForkName)
+				}
+			}
+		}
+		s.rollbackGroup(m.Group)
+	case wire.ResolutionRollback:
+		s.rollbackGroup(m.Group)
+	default:
+		s.log.Warn("unknown divergence resolution", "group", m.Group, "resolution", m.Resolution.String())
+	}
+}
+
+// rollbackGroup discards the local replica's history and re-fetches the
+// authoritative state through the coordinator. Local members stay joined;
+// their applications must refresh their materialized copies (the paper
+// leaves post-partition repair "implemented in the client code").
+func (s *Server) rollbackGroup(group string) {
+	persistent, members, cp, err := s.fetchState(group, 0)
+	if err != nil {
+		s.log.Warn("rollback fetch failed", "group", group, "err", err)
+		return
+	}
+	if err := s.engine.InstallGroup(group, persistent, cp); err != nil {
+		s.log.Warn("rollback install failed", "group", group, "err", err)
+		return
+	}
+	s.mirror.seed(group, members)
+	s.log.Info("replica rolled back to authoritative state", "group", group, "next-seq", cp.NextSeq)
+}
+
+// ---- engine hooks ----
+
+// forward routes a validated client multicast to the coordinator
+// (core.Hooks.Forward; called with the engine lock held — must not block).
+func (s *Server) forward(group string, ev wire.Event, senderInclusive bool, reqID uint64) error {
+	if !s.sendToCoordinator(&wire.SForward{
+		Origin: s.cfg.ID, Group: group, Event: ev,
+		SenderInclusive: senderInclusive, RequestID: reqID,
+	}) {
+		return ErrNoCoordinator
+	}
+	return nil
+}
+
+// onMembershipChange reports a local membership change to the coordinator
+// and maintains the mirror (core.Hooks.OnMembershipChange; engine lock
+// held — must not block).
+func (s *Server) onMembershipChange(group string, change wire.MembershipChange, member wire.MemberInfo, localMembers int) {
+	s.mirror.apply(group, s.cfg.ID, change, member)
+	s.sendToCoordinator(&wire.SMemberUpdate{ServerID: s.cfg.ID, Group: group, Change: change, Member: member})
+
+	s.mu.Lock()
+	backup := s.backups[group]
+	s.mu.Unlock()
+	interested := localMembers > 0 || backup
+	s.sendToCoordinator(&wire.SInterest{
+		ServerID: s.cfg.ID, Group: group,
+		Interested: interested, Members: uint64(localMembers), Backup: backup,
+	})
+	if !interested {
+		// Last local member gone and not a backup: drop the replica
+		// asynchronously (the engine lock is held here).
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.releaseGroup(group)
+		}()
+	}
+}
+
+// releaseGroup drops a replica this server no longer needs.
+func (s *Server) releaseGroup(group string) {
+	if s.engine.LocalMembers(group) > 0 {
+		return // a client joined in the meantime
+	}
+	s.mu.Lock()
+	backup := s.backups[group]
+	s.mu.Unlock()
+	if backup {
+		return
+	}
+	s.mirror.drop(group)
+	if err := s.engine.DeleteGroupDirect(group); err == nil {
+		s.log.Debug("replica released", "group", group)
+	}
+}
+
+// intercept coordinates group ops and replica acquisition before the
+// engine sees a request (core.Hooks.Intercept; runs without the engine
+// lock and may block).
+func (s *Server) intercept(sess *core.Session, msg wire.Message) bool {
+	switch m := msg.(type) {
+	case *wire.CreateGroup:
+		ack, err := s.groupOp(wire.GroupOpCreate, m.Group, m.Persistent, m.Initial)
+		switch {
+		case err != nil:
+			sess.Send(&wire.ErrorMsg{RequestID: m.RequestID, Code: wire.CodeInternal, Text: err.Error()})
+		case !ack.OK:
+			sess.Send(&wire.ErrorMsg{RequestID: m.RequestID, Code: ack.Code, Text: ack.Text})
+		default:
+			sess.Send(&wire.CreateGroupAck{RequestID: m.RequestID})
+		}
+		return true
+	case *wire.DeleteGroup:
+		ack, err := s.groupOp(wire.GroupOpDelete, m.Group, false, nil)
+		switch {
+		case err != nil:
+			sess.Send(&wire.ErrorMsg{RequestID: m.RequestID, Code: wire.CodeInternal, Text: err.Error()})
+		case !ack.OK:
+			sess.Send(&wire.ErrorMsg{RequestID: m.RequestID, Code: ack.Code, Text: ack.Text})
+		default:
+			sess.Send(&wire.DeleteGroupAck{RequestID: m.RequestID})
+		}
+		return true
+	case *wire.ListGroups:
+		// Answer with the coordinator's global registry, not just the
+		// groups replicated locally. Fall back to the local view when
+		// the coordinator is unreachable.
+		if groups, err := s.listGroupsGlobal(); err == nil {
+			sess.Send(&wire.GroupList{RequestID: m.RequestID, Groups: groups})
+			return true
+		}
+		return false
+	case *wire.Join:
+		if s.engine.HasGroup(m.Group) {
+			return false // local replica exists; the engine takes it
+		}
+		// Unknown locally: create through the coordinator or acquire
+		// the replica, then let the engine run the join.
+		if err := s.ensureGroup(m.Group, m.CreateIfMissing); err != nil {
+			code := wire.CodeNoSuchGroup
+			if !errors.Is(err, errUnknownGroup) {
+				code = wire.CodeInternal
+			}
+			sess.Send(&wire.ErrorMsg{RequestID: m.RequestID, Code: code, Text: err.Error()})
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+var errUnknownGroup = errors.New("cluster: no such group")
+
+// ensureGroup makes the group available locally, creating it via the
+// coordinator when permitted.
+func (s *Server) ensureGroup(group string, createIfMissing bool) error {
+	err := s.acquireGroup(group)
+	if err == nil {
+		return nil
+	}
+	if !createIfMissing {
+		return fmt.Errorf("%w: %q", errUnknownGroup, group)
+	}
+	ack, opErr := s.groupOp(wire.GroupOpCreate, group, false, nil)
+	if opErr != nil {
+		return opErr
+	}
+	if !ack.OK && ack.Code != wire.CodeGroupExists {
+		return fmt.Errorf("cluster: create %q: %s", group, ack.Text)
+	}
+	if !s.engine.HasGroup(group) {
+		return s.acquireGroup(group)
+	}
+	return nil
+}
+
+// ---- heartbeats ----
+
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			epoch := s.epoch
+			s.mu.Unlock()
+			s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: epoch, Time: time.Now().UnixNano()})
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/cluster"
+)
+
+// TestDoubleCoordinatorFailover exercises §4.2's escalating-timeout
+// succession twice in a row: the external coordinator dies and a server is
+// elected; then the promoted server dies too and another server takes
+// over. "A system made up by k+1 servers can tolerate k simultaneous
+// crashes by using increasing timeouts."
+func TestDoubleCoordinatorFailover(t *testing.T) {
+	tc := startCluster(t, 4)
+
+	sink := newSink()
+	// Clients avoid the servers that will die, so client traffic probes
+	// pure coordinator failover (client failover is a separate concern).
+	writerSrv, readerSrv := tc.servers[2], tc.servers[3]
+	w := dialTo(t, writerSrv, "writer", nil)
+	r := dialTo(t, readerSrv, "reader", sink)
+	if err := w.CreateGroup("g", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Join("g", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join("g", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.BcastUpdate("g", "o", []byte("epoch0"), false); err != nil {
+		t.Fatal(err)
+	}
+	sink.wait(t, 1)
+
+	// First failover: kill the external coordinator.
+	tc.coord.Close()
+	first := awaitPromotion(t, tc.servers, nil)
+	seq := mustBcastEventually(t, w, "g", "epoch1")
+	if seq != 2 {
+		t.Fatalf("seq after first failover = %d, want 2", seq)
+	}
+	sink.wait(t, 2)
+
+	// Second failover: kill the promoted server.
+	first.Close()
+	second := awaitPromotion(t, tc.servers, first)
+	if second == first {
+		t.Fatal("dead coordinator still marked promoted")
+	}
+	seq = mustBcastEventually(t, w, "g", "epoch2")
+	if seq != 3 {
+		t.Fatalf("seq after second failover = %d, want 3 (no renumbering)", seq)
+	}
+	events := sink.wait(t, 3)
+	if string(events[2].Data) != "epoch2" {
+		t.Fatalf("delivery after double failover = %q", events[2].Data)
+	}
+	// Epochs must have advanced strictly.
+	if second.Epoch() <= 1 {
+		t.Fatalf("epoch after two elections = %d", second.Epoch())
+	}
+}
+
+// awaitPromotion waits until some live server (other than excluded) has
+// promoted itself.
+func awaitPromotion(t *testing.T, servers []*cluster.Server, excluded *cluster.Server) *cluster.Server {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, s := range servers {
+			if s != excluded && s.IsCoordinator() {
+				return s
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("no server promoted itself")
+	return nil
+}
+
+// mustBcastEventually retries a bcast until the (re-elected) regime
+// serves it.
+func mustBcastEventually(t *testing.T, c *client.Client, group, data string) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		seq, err := c.BcastUpdate(group, "o", []byte(data), false)
+		if err == nil {
+			return seq
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bcast %q never succeeded: %v", data, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

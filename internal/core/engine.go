@@ -1,0 +1,380 @@
+// Package core implements the Corona stateful multicast server — the
+// paper's primary contribution. The Engine ties the substrates together:
+// per-group shared state (internal/state), membership (internal/membership),
+// locks (internal/locks), the sequencer (internal/seq), and the stable-
+// storage message log (internal/wal). Server (server.go) is the standalone
+// single-server frontend used by the paper's Figure 3 and Table 1
+// experiments; the replicated frontend lives in internal/cluster.
+//
+// The Engine uses a single coarse mutex. The paper's own measurements show
+// the service is bound by network fanout, not by state maintenance ("the
+// overhead of maintaining the state at the service is most of the time
+// negligible"), and a single lock makes the ordering guarantees — total
+// order per group, FIFO per sender, JoinAck before any subsequent Deliver —
+// trivially auditable. Deliveries leave the lock as non-blocking enqueues
+// onto per-client write pumps.
+package core
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"corona/internal/locks"
+	"corona/internal/membership"
+	"corona/internal/seq"
+	"corona/internal/state"
+	"corona/internal/wal"
+	"corona/internal/wire"
+)
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// ServerID distinguishes servers of a replicated service; client IDs
+	// embed it so they are globally unique. Single servers use 1.
+	ServerID uint64
+	// Dir is the stable-storage directory. Empty disables disk logging
+	// (state is kept in memory only).
+	Dir string
+	// Sync is the WAL durability policy.
+	Sync wal.SyncPolicy
+	// SyncEvery is the flush period for wal.SyncInterval.
+	SyncEvery time.Duration
+	// SegmentSize is the WAL segment roll-over threshold in bytes
+	// (0: wal.DefaultSegmentSize). Smaller segments let log reduction
+	// reclaim disk sooner at the cost of more files.
+	SegmentSize int64
+	// Stateless turns the engine into the paper's baseline: a sequencer
+	// that keeps no shared state and no log. Joins transfer nothing.
+	Stateless bool
+	// SessionManager authorizes membership actions (nil: allow all).
+	SessionManager membership.SessionManager
+	// Logger receives operational logs (nil: slog.Default).
+	Logger *slog.Logger
+	// PumpDepth bounds each client's outbound queue.
+	PumpDepth int
+	// Now supplies timestamps (nil: time.Now).
+	Now func() time.Time
+	// AutoReduceThreshold triggers state-log reduction when a group's
+	// retained history exceeds this many events (0 disables the policy).
+	AutoReduceThreshold int
+	// PriorityOf assigns a delivery priority per group (nil: every group
+	// is PriorityNormal). High-priority groups' deliveries overtake
+	// queued normal traffic on each client connection — the scheduling
+	// control of the paper's QoS-adaptive server (§5.3).
+	PriorityOf func(group string) Priority
+	// Hooks integrate the engine into a replicated service.
+	Hooks Hooks
+}
+
+// Priority is a group's delivery scheduling class.
+type Priority int
+
+// Priorities.
+const (
+	// PriorityNormal is the default class.
+	PriorityNormal Priority = iota
+	// PriorityHigh deliveries are written before queued normal traffic.
+	PriorityHigh
+)
+
+// Hooks are the integration points the replicated frontend plugs into. All
+// hooks are invoked with the engine lock held and must not block; they
+// should only enqueue onto peer connections.
+type Hooks struct {
+	// Forward, when set, routes a validated Bcast to the coordinator for
+	// sequencing instead of sequencing locally. The BcastAck to the
+	// sender is deferred until the event returns via ApplyDistribute.
+	Forward func(group string, ev wire.Event, senderInclusive bool, reqID uint64) error
+	// OnMembershipChange reports a local join/leave/crash so the
+	// coordinator can maintain the global view.
+	OnMembershipChange func(group string, change wire.MembershipChange, member wire.MemberInfo, localMembers int)
+	// MembersOverride supplies the global membership view of a group in
+	// a replicated service (local registry only sees local members).
+	MembersOverride func(group string) ([]wire.MemberInfo, bool)
+	// Intercept, when set, sees every client request before the engine.
+	// Returning true consumes the message. Unlike the other hooks it runs
+	// WITHOUT the engine lock (on the session's read goroutine) and may
+	// block — the replicated frontend uses it to coordinate group ops
+	// and state fetches before letting the engine proceed.
+	Intercept func(s *Session, msg wire.Message) bool
+}
+
+// Engine is the stateful multicast service core.
+type Engine struct {
+	cfg EngineConfig
+	log *slog.Logger
+
+	mu         sync.Mutex
+	reg        *membership.Registry
+	states     map[string]*state.Group
+	locks      *locks.Table
+	seqr       *seq.Sequencer
+	sessions   map[uint64]*Session
+	wal        *wal.Log // nil when Dir == "" or Stateless
+	lowLSN     map[string]uint64
+	nextClient uint64
+	closed     bool
+
+	// stats, read with the lock held via Stats.
+	statBcasts    uint64
+	statDelivered uint64
+	statDropped   uint64
+	statReduced   uint64
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Sessions  uint64
+	Groups    uint64
+	Bcasts    uint64
+	Delivered uint64
+	// Dropped counts sessions whose connection failed mid-send (slow
+	// consumers over quota and crashed clients caught during fanout).
+	Dropped uint64
+	// Reductions counts state-log reductions performed.
+	Reductions uint64
+}
+
+// NewEngine builds an engine and, when a directory is configured, recovers
+// the persistent groups from the stable-storage log.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.ServerID == 0 {
+		cfg.ServerID = 1
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	e := &Engine{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		reg:      membership.NewRegistry(cfg.SessionManager),
+		states:   make(map[string]*state.Group),
+		locks:    locks.NewTable(),
+		seqr:     seq.New(cfg.Now),
+		sessions: make(map[uint64]*Session),
+		lowLSN:   make(map[string]uint64),
+	}
+	if cfg.Dir != "" && !cfg.Stateless {
+		l, err := wal.Open(wal.Options{
+			Dir: cfg.Dir, Sync: cfg.Sync,
+			SyncEvery: cfg.SyncEvery, SegmentSize: cfg.SegmentSize,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open wal: %w", err)
+		}
+		e.wal = l
+		if err := e.recover(); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("core: recover: %w", err)
+		}
+		e.finishRecover()
+	}
+	return e, nil
+}
+
+// Close shuts the engine down: every session is closed and the log is
+// flushed. Safe to call more than once.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	sessions := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	l := e.wal
+	e.mu.Unlock()
+
+	for _, s := range sessions {
+		s.close()
+	}
+	if l != nil {
+		return l.Close()
+	}
+	return nil
+}
+
+// Stateless reports whether the engine runs in the sequencer-only baseline
+// mode.
+func (e *Engine) Stateless() bool { return e.cfg.Stateless }
+
+// ServerID returns the engine's server identity.
+func (e *Engine) ServerID() uint64 { return e.cfg.ServerID }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Sessions:   uint64(len(e.sessions)),
+		Groups:     uint64(e.reg.Len()),
+		Bcasts:     e.statBcasts,
+		Delivered:  e.statDelivered,
+		Dropped:    e.statDropped,
+		Reductions: e.statReduced,
+	}
+}
+
+// newClientID composes a globally unique client ID from the server ID and a
+// local counter. Caller holds e.mu.
+func (e *Engine) newClientID() uint64 {
+	e.nextClient++
+	return e.cfg.ServerID<<40 | e.nextClient
+}
+
+// getState returns the group's shared state, which exists for every
+// registered group unless the engine is stateless.
+func (e *Engine) getState(group string) *state.Group {
+	return e.states[group]
+}
+
+// HasGroup reports whether the group is registered. Used by the replicated
+// frontend to decide whether a join needs a state fetch first.
+func (e *Engine) HasGroup(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.reg.Get(name)
+	return ok
+}
+
+// LocalMembers returns the number of members connected to this server for
+// the group.
+func (e *Engine) LocalMembers(name string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(name)
+	if !ok {
+		return 0
+	}
+	return g.Size()
+}
+
+// InstallGroup registers a group received from a peer replica, replacing
+// any existing registration and local state. The checkpoint image is
+// installed verbatim: the sequence counter is reset to the image's, so a
+// rollback after divergence really rewinds (existing local members are
+// kept).
+func (e *Engine) InstallGroup(name string, persistent bool, cp state.Checkpointed) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, err := state.RestoreMaterialized(cp)
+	if err != nil {
+		return fmt.Errorf("core: install %q: %w", name, err)
+	}
+	if _, ok := e.reg.Get(name); !ok {
+		if _, err := e.reg.Create(name, persistent, wire.MemberInfo{}); err != nil {
+			return err
+		}
+	}
+	if !e.cfg.Stateless {
+		e.states[name] = st
+	}
+	e.seqr.Drop(name)
+	if cp.NextSeq > 1 {
+		e.seqr.Observe(name, cp.NextSeq-1)
+	}
+	if persistent {
+		e.persistCheckpoint(name, st)
+	}
+	return nil
+}
+
+// GroupImage exports a group's checkpoint image for replica transfer. The
+// second result reports whether the group exists.
+func (e *Engine) GroupImage(name string) (persistent bool, cp state.Checkpointed, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, exists := e.reg.Get(name)
+	if !exists {
+		return false, state.Checkpointed{}, false
+	}
+	st := e.getState(name)
+	if st == nil {
+		return g.Persistent, state.Checkpointed{NextSeq: e.seqr.Peek(name)}, true
+	}
+	return g.Persistent, st.Checkpoint(), true
+}
+
+// EventsSince exports the retained event suffix of a group from seq
+// onwards, for incremental replica catch-up. ok is false when the suffix
+// is no longer retained and a full image is required.
+func (e *Engine) EventsSince(name string, from uint64) (events []wire.Event, nextSeq uint64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.getState(name)
+	if st == nil {
+		return nil, 0, false
+	}
+	events, err := st.Resume(from)
+	if err != nil {
+		return nil, 0, false
+	}
+	return events, st.NextSeq(), true
+}
+
+// SeqReport returns every group's sequencing high-water mark, used by a
+// newly elected coordinator to recover its counters.
+func (e *Engine) SeqReport() []wire.GroupSeq {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := e.reg.Names()
+	sort.Strings(names)
+	out := make([]wire.GroupSeq, 0, len(names))
+	for _, name := range names {
+		g, ok := e.reg.Get(name)
+		if !ok {
+			continue
+		}
+		gs := wire.GroupSeq{
+			Group:      name,
+			NextSeq:    e.seqr.Peek(name),
+			Persistent: g.Persistent,
+			Members:    uint64(g.Size()),
+		}
+		if st := e.getState(name); st != nil {
+			gs.Digest = st.Digest()
+			// The replica's state is the ground truth for the
+			// high-water mark.
+			if st.NextSeq() > gs.NextSeq {
+				gs.NextSeq = st.NextSeq()
+			}
+		}
+		out = append(out, gs)
+	}
+	return out
+}
+
+// ObserveSeq raises a group's sequencer high-water mark (coordinator
+// recovery).
+func (e *Engine) ObserveSeq(group string, seqNo uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seqr.Observe(group, seqNo)
+}
+
+// Groups returns the names of all registered groups.
+func (e *Engine) Groups() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reg.Names()
+}
+
+// failSession closes a session's connection; the frontend's read loop will
+// observe the error and call DropSession. Used when a pump overflows or a
+// write fails. Safe without the engine lock.
+func (e *Engine) failSession(s *Session, reason error) {
+	e.log.Warn("dropping session", "client", s.ID, "name", s.Name, "reason", reason)
+	e.mu.Lock()
+	e.statDropped++
+	e.mu.Unlock()
+	s.close()
+}

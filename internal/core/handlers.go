@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"corona/internal/locks"
+	"corona/internal/membership"
+	"corona/internal/state"
+	"corona/internal/transport"
+	"corona/internal/wire"
+)
+
+// HandleMessage dispatches one client request. Bcast is included: in a
+// single server it is sequenced locally; when Hooks.Forward is set it is
+// validated and forwarded to the coordinator. Replies flow through the
+// session's pump. Unknown or malformed requests earn an ErrorMsg, never a
+// disconnect, so one buggy client request cannot kill a session silently.
+func (e *Engine) HandleMessage(s *Session, msg wire.Message) {
+	if e.cfg.Hooks.Intercept != nil && e.cfg.Hooks.Intercept(s, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Bcast:
+		e.handleBcast(s, m)
+	case *wire.Join:
+		e.handleJoin(s, m)
+	case *wire.Leave:
+		e.handleLeave(s, m)
+	case *wire.CreateGroup:
+		e.handleCreate(s, m)
+	case *wire.DeleteGroup:
+		e.handleDelete(s, m)
+	case *wire.GetMembership:
+		e.handleGetMembership(s, m)
+	case *wire.ListGroups:
+		e.handleListGroups(s, m)
+	case *wire.LockAcquire:
+		e.handleLockAcquire(s, m)
+	case *wire.LockRelease:
+		e.handleLockRelease(s, m)
+	case *wire.ReduceLog:
+		e.handleReduceLog(s, m)
+	case *wire.Ping:
+		s.send(&wire.Pong{Nonce: m.Nonce})
+	case *wire.Pong:
+		// Heartbeat reply; nothing to do.
+	default:
+		s.send(&wire.ErrorMsg{Code: wire.CodeBadRequest, Text: fmt.Sprintf("unexpected %s", msg.Kind())})
+	}
+}
+
+func (s *Session) sendErr(reqID uint64, code wire.ErrCode, text string) {
+	s.send(&wire.ErrorMsg{RequestID: reqID, Code: code, Text: text})
+}
+
+// errCode maps membership errors onto protocol codes.
+func errCode(err error) wire.ErrCode {
+	switch {
+	case errors.Is(err, membership.ErrGroupExists):
+		return wire.CodeGroupExists
+	case errors.Is(err, membership.ErrNoSuchGroup):
+		return wire.CodeNoSuchGroup
+	case errors.Is(err, membership.ErrAlreadyMember):
+		return wire.CodeAlreadyMember
+	case errors.Is(err, membership.ErrNotMember):
+		return wire.CodeNotMember
+	case errors.Is(err, membership.ErrDenied):
+		return wire.CodeDenied
+	default:
+		return wire.CodeInternal
+	}
+}
+
+func (e *Engine) handleCreate(s *Session, m *wire.CreateGroup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.createLocked(m.Group, m.Persistent, m.Initial, s.memberInfo(wire.RolePrincipal)); err != nil {
+		s.sendErr(m.RequestID, errCode(err), err.Error())
+		return
+	}
+	s.send(&wire.CreateGroupAck{RequestID: m.RequestID})
+}
+
+// createLocked registers a group and its initial state. Caller holds e.mu.
+func (e *Engine) createLocked(name string, persistent bool, initial []wire.Object, creator wire.MemberInfo) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty group name", membership.ErrNoSuchGroup)
+	}
+	if _, err := e.reg.Create(name, persistent, creator); err != nil {
+		return err
+	}
+	if !e.cfg.Stateless {
+		e.states[name] = state.NewInitial(initial)
+	}
+	e.persistCreate(name, persistent, initial)
+	return nil
+}
+
+// CreateGroupDirect registers a group without a client session: the
+// replicated frontend uses it to apply coordinator-ordered group ops, and
+// embedders use it to pre-provision groups.
+func (e *Engine) CreateGroupDirect(name string, persistent bool, initial []wire.Object) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.createLocked(name, persistent, initial, wire.MemberInfo{})
+}
+
+func (e *Engine) handleDelete(s *Session, m *wire.DeleteGroup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.reg.Get(m.Group); !ok {
+		s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
+		return
+	}
+	// Authorization runs through the registry's session manager.
+	if err := e.reg.Delete(m.Group, s.memberInfo(wire.RolePrincipal)); err != nil {
+		s.sendErr(m.RequestID, errCode(err), err.Error())
+		return
+	}
+	e.cleanupGroupLocked(m.Group)
+	s.send(&wire.DeleteGroupAck{RequestID: m.RequestID})
+}
+
+// DeleteGroupDirect removes a group without a client session (replicated
+// frontend; coordinator-ordered op).
+func (e *Engine) DeleteGroupDirect(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.reg.Get(name); !ok {
+		return fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, name)
+	}
+	e.dropGroupLocked(name)
+	return nil
+}
+
+func (s *Session) memberInfo(role wire.Role) wire.MemberInfo {
+	return wire.MemberInfo{ClientID: s.ID, Name: s.Name, Role: role}
+}
+
+func (e *Engine) handleJoin(s *Session, m *wire.Join) {
+	role := m.Role
+	if !role.Valid() {
+		role = wire.RolePrincipal
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if _, ok := e.reg.Get(m.Group); !ok && m.CreateIfMissing {
+		if err := e.createLocked(m.Group, false, nil, wire.MemberInfo{}); err != nil {
+			s.sendErr(m.RequestID, errCode(err), err.Error())
+			return
+		}
+	}
+	info := s.memberInfo(role)
+	g, err := e.reg.Join(m.Group, info, m.Notify)
+	if err != nil {
+		s.sendErr(m.RequestID, errCode(err), err.Error())
+		return
+	}
+	// The membership hook runs before the ack is built so the global
+	// view (mirror) already includes the joiner.
+	if e.cfg.Hooks.OnMembershipChange != nil {
+		e.cfg.Hooks.OnMembershipChange(m.Group, wire.MemberJoined, info, g.Size())
+	}
+
+	ack := &wire.JoinAck{RequestID: m.RequestID, Group: m.Group}
+	st := e.getState(m.Group)
+	if st != nil {
+		policy := m.Policy
+		if !policy.Mode.Valid() {
+			policy = wire.FullTransfer
+		}
+		objs, events, base, err := st.Snapshot(policy)
+		if errors.Is(err, state.ErrSeqGap) {
+			// The requested suffix was reduced away; fall back to a
+			// full transfer (documented resume semantics).
+			objs, events, base, err = st.Snapshot(wire.FullTransfer)
+		}
+		if err != nil {
+			// Join succeeded but the transfer policy was malformed.
+			_, _, _ = e.reg.Leave(m.Group, s.ID)
+			s.sendErr(m.RequestID, wire.CodeBadRequest, err.Error())
+			return
+		}
+		ack.Objects = objs
+		ack.Events = events
+		ack.BaseSeq = base
+		ack.NextSeq = st.NextSeq()
+	} else {
+		// Stateless baseline: no transfer; deliveries start at the
+		// sequencer's next number.
+		ack.NextSeq = e.seqr.Peek(m.Group)
+	}
+	ack.Members = e.membersLocked(m.Group, g)
+	s.send(ack)
+
+	e.notifySubscribersExceptLocked(g, wire.MemberJoined, info, s.ID)
+}
+
+// membersLocked returns the membership view for a group: the global view in
+// a replicated service, the local registry otherwise. Caller holds e.mu.
+func (e *Engine) membersLocked(name string, g *membership.Group) []wire.MemberInfo {
+	if e.cfg.Hooks.MembersOverride != nil {
+		if ms, ok := e.cfg.Hooks.MembersOverride(name); ok {
+			return ms
+		}
+	}
+	return g.Members()
+}
+
+// notifySubscribersExceptLocked is notifySubscribersLocked minus one
+// recipient — the joiner already learns the membership from its JoinAck.
+func (e *Engine) notifySubscribersExceptLocked(g *membership.Group, change wire.MembershipChange, member wire.MemberInfo, except uint64) {
+	var frame []byte
+	for _, id := range g.Subscribers() {
+		if id == except {
+			continue
+		}
+		sess, ok := e.sessions[id]
+		if !ok {
+			continue
+		}
+		if frame == nil {
+			frame = transport.EncodeFrame(nil, &wire.MembershipNotify{
+				Group: g.Name, Change: change, Member: member, Count: uint32(g.Size()),
+			})
+		}
+		sess.sendFrame(frame)
+	}
+}
+
+func (e *Engine) handleLeave(s *Session, m *wire.Leave) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(m.Group)
+	if !ok {
+		s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
+		return
+	}
+	if !g.Has(s.ID) {
+		s.sendErr(m.RequestID, wire.CodeNotMember, "not a member")
+		return
+	}
+	e.removeMemberLocked(m.Group, s.ID, wire.MemberLeft)
+	s.send(&wire.LeaveAck{RequestID: m.RequestID})
+}
+
+func (e *Engine) handleGetMembership(s *Session, m *wire.GetMembership) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(m.Group)
+	if !ok {
+		s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
+		return
+	}
+	s.send(&wire.MembershipInfo{RequestID: m.RequestID, Group: m.Group, Members: e.membersLocked(m.Group, g)})
+}
+
+func (e *Engine) handleListGroups(s *Session, m *wire.ListGroups) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s.send(&wire.GroupList{RequestID: m.RequestID, Groups: e.reg.Names()})
+}
+
+func (e *Engine) handleBcast(s *Session, m *wire.Bcast) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	g, ok := e.reg.Get(m.Group)
+	if !ok {
+		s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
+		return
+	}
+	if !g.Has(s.ID) {
+		s.sendErr(m.RequestID, wire.CodeNotMember, "only members may multicast")
+		return
+	}
+	if !m.EvKind.Valid() {
+		s.sendErr(m.RequestID, wire.CodeBadRequest, "invalid event kind")
+		return
+	}
+	if mi, ok := g.Member(s.ID); ok && mi.Role == wire.RoleObserver {
+		s.sendErr(m.RequestID, wire.CodeDenied, "observers may not modify shared state")
+		return
+	}
+
+	ev := wire.Event{
+		Kind:     m.EvKind,
+		ObjectID: m.ObjectID,
+		Data:     m.Data,
+		Sender:   s.ID,
+	}
+
+	if e.cfg.Hooks.Forward != nil {
+		// Replicated service: the coordinator sequences; the ack is
+		// sent when the event returns via ApplyDistribute.
+		if err := e.cfg.Hooks.Forward(m.Group, ev, m.SenderInclusive, m.RequestID); err != nil {
+			s.sendErr(m.RequestID, wire.CodeInternal, err.Error())
+		}
+		return
+	}
+
+	ev.Seq, ev.Time = e.seqr.Next(m.Group)
+	e.applyAndFanoutLocked(m.Group, g, ev, m.SenderInclusive)
+	s.send(&wire.BcastAck{RequestID: m.RequestID, Seq: ev.Seq})
+}
+
+// applyAndFanoutLocked folds a sequenced event into the group state, logs
+// it, and enqueues the delivery for every local member (honouring
+// sender-exclusive). Caller holds e.mu.
+func (e *Engine) applyAndFanoutLocked(name string, g *membership.Group, ev wire.Event, senderInclusive bool) {
+	e.statBcasts++
+	if st := e.getState(name); st != nil {
+		if err := st.Apply(ev); err != nil {
+			// A sequencing bug; log loudly but keep serving.
+			e.log.Error("apply failed", "group", name, "seq", ev.Seq, "err", err)
+			return
+		}
+		e.persistEvent(name, g.Persistent, ev)
+		if t := e.cfg.AutoReduceThreshold; t > 0 && st.HistoryLen() > t {
+			e.reduceLocked(name, g, st, 0)
+		}
+	}
+
+	high := false
+	if e.cfg.PriorityOf != nil {
+		high = e.cfg.PriorityOf(name) == PriorityHigh
+	}
+	var frame []byte
+	for _, id := range g.MemberIDs() {
+		if id == ev.Sender && !senderInclusive {
+			continue
+		}
+		sess, ok := e.sessions[id]
+		if !ok {
+			continue // member lives on another server of the cluster
+		}
+		if frame == nil {
+			frame = transport.EncodeFrame(nil, &wire.Deliver{Group: name, Event: ev})
+		}
+		sess.sendFramePriority(frame, high)
+		e.statDelivered++
+	}
+}
+
+// ErrSeqGap reports that a distributed event skipped ahead of the replica's
+// expected sequence number; the replicated frontend reacts by fetching the
+// missing suffix from a peer (the paper's crash-recovery retrieval of lost
+// updates).
+var ErrSeqGap = errors.New("core: distributed event leaves a sequence gap")
+
+// ApplyDistribute applies a coordinator-sequenced event on a replica server
+// and fans it out to local members. When the sender is local and reqID is
+// non-zero the pending BcastAck completes here. Events at or below the
+// replica's high-water mark are duplicates and are dropped silently (the
+// sender still gets its ack); events beyond it return ErrSeqGap.
+func (e *Engine) ApplyDistribute(group string, ev wire.Event, senderInclusive bool, reqID uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(group)
+	if !ok {
+		return fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
+	}
+	if st := e.getState(group); st != nil {
+		switch {
+		case ev.Seq < st.NextSeq():
+			e.ackDistributedLocked(ev, reqID)
+			return nil
+		case ev.Seq > st.NextSeq():
+			return fmt.Errorf("%w: got %d, want %d", ErrSeqGap, ev.Seq, st.NextSeq())
+		}
+	}
+	e.seqr.Observe(group, ev.Seq)
+	e.applyAndFanoutLocked(group, g, ev, senderInclusive)
+	e.ackDistributedLocked(ev, reqID)
+	return nil
+}
+
+// ackDistributedLocked completes a local sender's pending BcastAck. Caller
+// holds e.mu.
+func (e *Engine) ackDistributedLocked(ev wire.Event, reqID uint64) {
+	if reqID == 0 {
+		return
+	}
+	if sender, ok := e.sessions[ev.Sender]; ok {
+		sender.send(&wire.BcastAck{RequestID: reqID, Seq: ev.Seq})
+	}
+}
+
+// ApplyEvents folds a caught-up event suffix into a replica (after an
+// ErrSeqGap fetch). Events already applied are skipped.
+func (e *Engine) ApplyEvents(group string, events []wire.Event) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(group)
+	if !ok {
+		return fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
+	}
+	st := e.getState(group)
+	if st == nil {
+		return nil
+	}
+	for _, ev := range events {
+		if ev.Seq < st.NextSeq() {
+			continue
+		}
+		e.seqr.Observe(group, ev.Seq)
+		e.applyAndFanoutLocked(group, g, ev, true)
+	}
+	return nil
+}
+
+func (e *Engine) handleLockAcquire(s *Session, m *wire.LockAcquire) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(m.Group)
+	if !ok || !g.Has(s.ID) {
+		s.sendErr(m.RequestID, wire.CodeNotMember, "lock requires group membership")
+		return
+	}
+	granted, holder, queued := e.locks.Acquire(m.Group, m.Name, s.ID, m.RequestID, m.Wait)
+	if queued {
+		return // reply comes later as a granted LockReply
+	}
+	s.send(&wire.LockReply{RequestID: m.RequestID, Granted: granted, Holder: holder})
+}
+
+func (e *Engine) handleLockRelease(s *Session, m *wire.LockRelease) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	grant, err := e.locks.Release(m.Group, m.Name, s.ID)
+	if err != nil {
+		s.sendErr(m.RequestID, wire.CodeLockHeld, err.Error())
+		return
+	}
+	s.send(&wire.LockReply{RequestID: m.RequestID, Granted: false, Holder: 0})
+	if grant != nil {
+		e.sendGrantsLocked([]locks.Grant{*grant})
+	}
+}
+
+func (e *Engine) handleReduceLog(s *Session, m *wire.ReduceLog) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(m.Group)
+	if !ok {
+		s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
+		return
+	}
+	st := e.getState(m.Group)
+	if st == nil {
+		s.sendErr(m.RequestID, wire.CodeBadRequest, "stateless service keeps no log")
+		return
+	}
+	trimmed := e.reduceLocked(m.Group, g, st, m.UpToSeq)
+	s.send(&wire.ReduceLogAck{RequestID: m.RequestID, BaseSeq: st.BaseSeq(), Trimmed: uint64(trimmed)})
+}
+
+// reduceLocked trims a group's history and persists the checkpoint. Caller
+// holds e.mu.
+func (e *Engine) reduceLocked(name string, g *membership.Group, st *state.Group, upToSeq uint64) int {
+	trimmed := st.Reduce(upToSeq)
+	if trimmed > 0 {
+		e.statReduced++
+		if g.Persistent {
+			e.persistCheckpoint(name, st)
+		}
+	}
+	return trimmed
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"corona/internal/state"
+	"corona/internal/wire"
+)
+
+// Stable-storage record types. Each WAL record is a one-byte tag followed
+// by a group name and a tag-specific body. Only persistent groups are
+// logged: a transient group's state dies with its membership (paper §3.1),
+// and after a server restart no members remain by definition.
+const (
+	recEvent      byte = 1
+	recCreate     byte = 2
+	recDelete     byte = 3
+	recCheckpoint byte = 4
+)
+
+// ErrEngineClosed is returned by operations on a closed engine.
+var ErrEngineClosed = errors.New("core: engine closed")
+
+func encodeEventRecord(group string, ev wire.Event) []byte {
+	e := wire.NewEncoder(make([]byte, 0, 64+len(ev.Data)))
+	e.PutByte(recEvent)
+	e.PutString(group)
+	e.PutUvarint(ev.Seq)
+	e.PutByte(byte(ev.Kind))
+	e.PutString(ev.ObjectID)
+	e.PutBytes(ev.Data)
+	e.PutUvarint(ev.Sender)
+	e.PutVarint(ev.Time)
+	return e.Bytes()
+}
+
+func encodeCreateRecord(group string, initial []wire.Object) []byte {
+	e := wire.NewEncoder(nil)
+	e.PutByte(recCreate)
+	e.PutString(group)
+	e.PutUvarint(uint64(len(initial)))
+	for _, o := range initial {
+		e.PutString(o.ID)
+		e.PutBytes(o.Data)
+	}
+	return e.Bytes()
+}
+
+func encodeDeleteRecord(group string) []byte {
+	e := wire.NewEncoder(nil)
+	e.PutByte(recDelete)
+	e.PutString(group)
+	return e.Bytes()
+}
+
+func encodeCheckpointRecord(group string, cp state.Checkpointed) []byte {
+	e := wire.NewEncoder(nil)
+	e.PutByte(recCheckpoint)
+	e.PutString(group)
+	e.PutUvarint(cp.BaseSeq)
+	e.PutUvarint(cp.NextSeq)
+	e.PutUint64(cp.Digest)
+	e.PutUvarint(uint64(len(cp.Objects)))
+	for _, o := range cp.Objects {
+		e.PutString(o.ID)
+		e.PutBytes(o.Data)
+	}
+	e.PutUvarint(uint64(len(cp.History)))
+	for _, ev := range cp.History {
+		e.PutUvarint(ev.Seq)
+		e.PutByte(byte(ev.Kind))
+		e.PutString(ev.ObjectID)
+		e.PutBytes(ev.Data)
+		e.PutUvarint(ev.Sender)
+		e.PutVarint(ev.Time)
+	}
+	return e.Bytes()
+}
+
+func decodeObjectList(d *wire.Decoder) ([]wire.Object, error) {
+	n := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	objs := make([]wire.Object, 0, n)
+	for i := uint64(0); i < n; i++ {
+		objs = append(objs, wire.Object{ID: d.String(), Data: d.ByteCopy()})
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return objs, nil
+}
+
+func decodeEventBody(d *wire.Decoder) (wire.Event, error) {
+	ev := wire.Event{
+		Seq:      d.Uvarint(),
+		Kind:     wire.EventKind(d.Byte()),
+		ObjectID: d.String(),
+		Data:     d.ByteCopy(),
+		Sender:   d.Uvarint(),
+		Time:     d.Varint(),
+	}
+	return ev, d.Err()
+}
+
+// recover rebuilds the persistent groups from the stable-storage log.
+// Called from NewEngine before any session exists, so no locking.
+func (e *Engine) recover() error {
+	return e.wal.Replay(0, func(lsn uint64, payload []byte) error {
+		if len(payload) == 0 {
+			return errors.New("core: empty wal record")
+		}
+		d := wire.NewDecoder(payload[1:])
+		tag := payload[0]
+		group := d.String()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("core: wal record %d: %w", lsn, err)
+		}
+		switch tag {
+		case recCreate:
+			initial, err := decodeObjectList(d)
+			if err != nil {
+				return fmt.Errorf("core: wal create %d: %w", lsn, err)
+			}
+			// Replayed deletes may precede a re-create; replace.
+			if _, ok := e.reg.Get(group); ok {
+				_ = e.reg.Delete(group, wire.MemberInfo{})
+			}
+			if _, err := e.reg.Create(group, true, wire.MemberInfo{}); err != nil {
+				return err
+			}
+			e.states[group] = state.NewInitial(initial)
+			e.lowLSN[group] = lsn
+		case recDelete:
+			_ = e.reg.Delete(group, wire.MemberInfo{})
+			delete(e.states, group)
+			delete(e.lowLSN, group)
+			e.seqr.Drop(group)
+		case recEvent:
+			ev, err := decodeEventBody(d)
+			if err != nil {
+				return fmt.Errorf("core: wal event %d: %w", lsn, err)
+			}
+			st, ok := e.states[group]
+			if !ok {
+				// Event for a group deleted later in the log, or
+				// logged before a checkpoint that follows; skip.
+				return nil
+			}
+			if ev.Seq < st.NextSeq() {
+				return nil // already covered by a checkpoint
+			}
+			if err := st.Apply(ev); err != nil {
+				return fmt.Errorf("core: wal event %d: %w", lsn, err)
+			}
+		case recCheckpoint:
+			cp := state.Checkpointed{BaseSeq: d.Uvarint(), NextSeq: d.Uvarint(), Digest: d.Uint64()}
+			objs, err := decodeObjectList(d)
+			if err != nil {
+				return fmt.Errorf("core: wal checkpoint %d: %w", lsn, err)
+			}
+			cp.Objects = objs
+			n := d.Uvarint()
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("core: wal checkpoint %d: %w", lsn, err)
+			}
+			for i := uint64(0); i < n; i++ {
+				ev, err := decodeEventBody(d)
+				if err != nil {
+					return fmt.Errorf("core: wal checkpoint %d: %w", lsn, err)
+				}
+				cp.History = append(cp.History, ev)
+			}
+			st, err := state.RestoreMaterialized(cp)
+			if err != nil {
+				return fmt.Errorf("core: wal checkpoint %d: %w", lsn, err)
+			}
+			if _, ok := e.reg.Get(group); !ok {
+				if _, err := e.reg.Create(group, true, wire.MemberInfo{}); err != nil {
+					return err
+				}
+			}
+			e.states[group] = st
+			e.lowLSN[group] = lsn
+		default:
+			return fmt.Errorf("core: unknown wal record tag %d at %d", tag, lsn)
+		}
+		return nil
+	})
+}
+
+// finishRecover seeds the sequencer from the recovered states. Called once
+// after recover.
+func (e *Engine) finishRecover() {
+	for name, st := range e.states {
+		e.seqr.Observe(name, st.NextSeq()-1)
+	}
+}
+
+// persistEvent logs one applied event for a persistent group. Caller holds
+// e.mu.
+func (e *Engine) persistEvent(group string, persistent bool, ev wire.Event) {
+	if e.wal == nil || !persistent {
+		return
+	}
+	if _, err := e.wal.Append(encodeEventRecord(group, ev)); err != nil {
+		e.log.Error("wal append failed", "group", group, "err", err)
+	}
+}
+
+// persistCreate logs a persistent group's creation. Caller holds e.mu.
+func (e *Engine) persistCreate(group string, persistent bool, initial []wire.Object) {
+	if e.wal == nil || !persistent {
+		return
+	}
+	lsn, err := e.wal.Append(encodeCreateRecord(group, initial))
+	if err != nil {
+		e.log.Error("wal append failed", "group", group, "err", err)
+		return
+	}
+	e.lowLSN[group] = lsn
+}
+
+// persistDelete logs a group deletion. Caller holds e.mu.
+func (e *Engine) persistDelete(group string) {
+	if e.wal == nil {
+		return
+	}
+	if _, err := e.wal.Append(encodeDeleteRecord(group)); err != nil {
+		e.log.Error("wal append failed", "group", group, "err", err)
+	}
+}
+
+// persistCheckpoint logs a checkpoint image and garbage-collects log
+// segments no group needs anymore. Caller holds e.mu.
+func (e *Engine) persistCheckpoint(group string, st *state.Group) {
+	if e.wal == nil {
+		return
+	}
+	lsn, err := e.wal.Append(encodeCheckpointRecord(group, st.Checkpoint()))
+	if err != nil {
+		e.log.Error("wal checkpoint failed", "group", group, "err", err)
+		return
+	}
+	e.lowLSN[group] = lsn
+	e.gcWALLocked()
+}
+
+// gcWALLocked drops log segments below the oldest record any persistent
+// group still needs. Caller holds e.mu.
+func (e *Engine) gcWALLocked() {
+	if e.wal == nil || len(e.lowLSN) == 0 {
+		return
+	}
+	min := e.lowLSN[firstKey(e.lowLSN)]
+	for _, lsn := range e.lowLSN {
+		if lsn < min {
+			min = lsn
+		}
+	}
+	if err := e.wal.TruncateBefore(min); err != nil {
+		e.log.Error("wal truncate failed", "err", err)
+	}
+}
+
+func firstKey(m map[string]uint64) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

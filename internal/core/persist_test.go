@@ -1,0 +1,286 @@
+package core
+
+import (
+	"testing"
+
+	"corona/internal/state"
+	"corona/internal/wal"
+	"corona/internal/wire"
+)
+
+// These tests exercise the engine's persistence machinery directly (no
+// TCP): record codecs, recovery orderings, checkpointing, and log GC.
+
+func newDiskEngine(t *testing.T, dir string) *Engine {
+	t.Helper()
+	e, err := NewEngine(EngineConfig{
+		Dir: dir, Sync: wal.SyncAlways, SegmentSize: 4 << 10, Logger: quietTestLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func applyLocal(t *testing.T, e *Engine, group string, n int, data string) {
+	t.Helper()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(group)
+	if !ok {
+		t.Fatal("group missing")
+	}
+	for i := 0; i < n; i++ {
+		ev := wire.Event{Kind: wire.EventUpdate, ObjectID: "o", Data: []byte(data)}
+		ev.Seq, ev.Time = e.seqr.Next(group)
+		e.applyAndFanoutLocked(group, g, ev, true)
+	}
+}
+
+func TestRecoverEventsAndSequencer(t *testing.T) {
+	dir := t.TempDir()
+	e := newDiskEngine(t, dir)
+	if err := e.CreateGroupDirect("g", true, []wire.Object{{ID: "o", Data: []byte("base|")}}); err != nil {
+		t.Fatal(err)
+	}
+	applyLocal(t, e, "g", 3, "u|")
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newDiskEngine(t, dir)
+	if !e2.HasGroup("g") {
+		t.Fatal("group lost across restart")
+	}
+	_, cp, ok := e2.GroupImage("g")
+	if !ok || cp.NextSeq != 4 {
+		t.Fatalf("recovered NextSeq = %d", cp.NextSeq)
+	}
+	if string(cp.Objects[0].Data) != "base|u|u|u|" {
+		t.Fatalf("recovered object = %q", cp.Objects[0].Data)
+	}
+	// The sequencer continues, never reuses numbers.
+	e2.mu.Lock()
+	next, _ := e2.seqr.Next("g")
+	e2.mu.Unlock()
+	if next != 4 {
+		t.Fatalf("next seq after recovery = %d", next)
+	}
+}
+
+func TestRecoverDigestConsistency(t *testing.T) {
+	dir := t.TempDir()
+	e := newDiskEngine(t, dir)
+	if err := e.CreateGroupDirect("g", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	applyLocal(t, e, "g", 5, "x")
+	_, before, _ := e.GroupImage("g")
+	e.Close()
+
+	e2 := newDiskEngine(t, dir)
+	_, after, _ := e2.GroupImage("g")
+	if before.Digest == 0 || before.Digest != after.Digest {
+		t.Fatalf("digest across restart: %x -> %x", before.Digest, after.Digest)
+	}
+}
+
+func TestRecoverAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	e := newDiskEngine(t, dir)
+	if err := e.CreateGroupDirect("g", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	applyLocal(t, e, "g", 10, "block")
+
+	// Reduce (checkpoints) then apply more events: recovery must replay
+	// checkpoint + suffix.
+	e.mu.Lock()
+	g, _ := e.reg.Get("g")
+	st := e.getState("g")
+	e.reduceLocked("g", g, st, 6)
+	e.mu.Unlock()
+	applyLocal(t, e, "g", 2, "tail")
+	_, want, _ := e.GroupImage("g")
+	e.Close()
+
+	e2 := newDiskEngine(t, dir)
+	_, got, _ := e2.GroupImage("g")
+	if got.NextSeq != want.NextSeq || got.Digest != want.Digest {
+		t.Fatalf("checkpoint recovery mismatch: %+v vs %+v", got.NextSeq, want.NextSeq)
+	}
+	if got.BaseSeq != 6 {
+		t.Fatalf("recovered BaseSeq = %d, want 6", got.BaseSeq)
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("recovered history %d, want %d", len(got.History), len(want.History))
+	}
+}
+
+func TestDeleteSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	e := newDiskEngine(t, dir)
+	if err := e.CreateGroupDirect("doomed", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	applyLocal(t, e, "doomed", 2, "x")
+	if err := e.DeleteGroupDirect("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	e2 := newDiskEngine(t, dir)
+	if e2.HasGroup("doomed") {
+		t.Fatal("deleted group resurrected by recovery")
+	}
+}
+
+func TestRecreateAfterDeleteSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	e := newDiskEngine(t, dir)
+	if err := e.CreateGroupDirect("g", true, []wire.Object{{ID: "o", Data: []byte("v1")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeleteGroupDirect("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateGroupDirect("g", true, []wire.Object{{ID: "o", Data: []byte("v2")}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	e2 := newDiskEngine(t, dir)
+	_, cp, ok := e2.GroupImage("g")
+	if !ok {
+		t.Fatal("recreated group lost")
+	}
+	if string(cp.Objects[0].Data) != "v2" {
+		t.Fatalf("recovered the wrong incarnation: %q", cp.Objects[0].Data)
+	}
+}
+
+func TestWALGCAfterCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	e := newDiskEngine(t, dir)
+	if err := e.CreateGroupDirect("g", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Enough data to roll several 4 KiB segments.
+	applyLocal(t, e, "g", 200, string(make([]byte, 200)))
+	segsBefore := e.wal.SegmentCount()
+	if segsBefore < 3 {
+		t.Fatalf("need multiple segments, got %d", segsBefore)
+	}
+	e.mu.Lock()
+	g, _ := e.reg.Get("g")
+	st := e.getState("g")
+	e.reduceLocked("g", g, st, 0)
+	e.mu.Unlock()
+	if segsAfter := e.wal.SegmentCount(); segsAfter >= segsBefore {
+		t.Fatalf("GC did not reclaim segments: %d -> %d", segsBefore, segsAfter)
+	}
+}
+
+func TestStatelessEngineIgnoresDir(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Dir: t.TempDir(), Stateless: true, Logger: quietTestLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.wal != nil {
+		t.Fatal("stateless engine opened a WAL")
+	}
+}
+
+func TestInstallGroupResetsSequencer(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Logger: quietTestLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.CreateGroupDirect("g", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	applyLocal(t, e, "g", 9, "x")
+
+	// A rollback install must rewind the sequencer, not max with it.
+	cp := state.Checkpointed{NextSeq: 4}
+	if err := e.InstallGroup("g", false, cp); err != nil {
+		t.Fatal(err)
+	}
+	report := e.SeqReport()
+	if len(report) != 1 || report[0].NextSeq != 4 {
+		t.Fatalf("SeqReport after rollback install = %+v", report)
+	}
+}
+
+func TestSeqReportIncludesUnsequencedGroups(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Logger: quietTestLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.CreateGroupDirect("idle", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	report := e.SeqReport()
+	if len(report) != 1 || report[0].Group != "idle" || report[0].NextSeq != 1 || !report[0].Persistent {
+		t.Fatalf("SeqReport = %+v", report)
+	}
+}
+
+func TestEventsSince(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Logger: quietTestLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.CreateGroupDirect("g", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	applyLocal(t, e, "g", 5, "d")
+	events, next, ok := e.EventsSince("g", 3)
+	if !ok || next != 6 || len(events) != 3 || events[0].Seq != 3 {
+		t.Fatalf("EventsSince = %v %d %v", events, next, ok)
+	}
+	if _, _, ok := e.EventsSince("missing", 1); ok {
+		t.Fatal("EventsSince found a missing group")
+	}
+}
+
+func TestApplyDistributeGapAndDuplicate(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Logger: quietTestLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.CreateGroupDirect("g", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev := func(seq uint64) wire.Event {
+		return wire.Event{Seq: seq, Kind: wire.EventUpdate, ObjectID: "o", Data: []byte{byte(seq)}}
+	}
+	if err := e.ApplyDistribute("g", ev(1), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate: dropped silently.
+	if err := e.ApplyDistribute("g", ev(1), true, 0); err != nil {
+		t.Fatalf("duplicate: %v", err)
+	}
+	// Gap: reported.
+	if err := e.ApplyDistribute("g", ev(5), true, 0); err == nil {
+		t.Fatal("gap accepted")
+	}
+	// Catch-up then the gap event applies.
+	if err := e.ApplyEvents("g", []wire.Event{ev(2), ev(3), ev(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyDistribute("g", ev(5), true, 0); err != nil {
+		t.Fatalf("after catch-up: %v", err)
+	}
+	_, cp, _ := e.GroupImage("g")
+	if cp.NextSeq != 6 {
+		t.Fatalf("NextSeq = %d", cp.NextSeq)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"corona/internal/transport"
+	"corona/internal/wire"
+)
+
+// Server is the standalone single-server frontend: it accepts client
+// connections, runs the Hello exchange, and feeds requests to the Engine,
+// which sequences multicasts locally. This is the configuration measured in
+// the paper's Figure 3 and Table 1.
+type Server struct {
+	engine   *Engine
+	listener *transport.Listener
+
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+// Config configures a standalone Server. The zero value listens on an
+// ephemeral loopback port with in-memory state.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// Engine carries the engine configuration.
+	Engine EngineConfig
+}
+
+// NewServer builds a server and its engine (recovering persistent groups
+// from disk when a directory is configured) but does not start listening.
+func NewServer(cfg Config) (*Server, error) {
+	engine, err := NewEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	l, err := transport.Listen(cfg.Addr)
+	if err != nil {
+		engine.Close()
+		return nil, err
+	}
+	return &Server{engine: engine, listener: l}, nil
+}
+
+// NewServerWithEngine wraps an externally built engine (used by the
+// replicated frontend, which shares the engine with its peer links).
+func NewServerWithEngine(engine *Engine, addr string) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{engine: engine, listener: l}, nil
+}
+
+// Start begins accepting clients. It returns immediately.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
+// Engine exposes the underlying engine (stats, direct group management).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Addr returns the listen address, e.g. to hand to clients in tests.
+func (s *Server) Addr() net.Addr { return s.listener.Addr() }
+
+// Close stops accepting, disconnects every client, and shuts the engine
+// down. It blocks until all connection goroutines have exited.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	err := s.listener.Close()
+	engineErr := s.engine.Close()
+	s.wg.Wait()
+	if err != nil {
+		return err
+	}
+	return engineErr
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			if transport.IsClosed(err) {
+				return
+			}
+			s.engine.log.Warn("accept failed", "err", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn runs one client connection: Hello exchange, then the request
+// loop until the connection drops.
+func (s *Server) serveConn(conn *transport.Conn) {
+	defer conn.Close()
+	sess, err := Handshake(s.engine, conn)
+	if err != nil {
+		return
+	}
+	ServeSession(s.engine, sess, conn)
+}
+
+// Handshake performs the server side of the Hello exchange and registers
+// the session. Shared with the replicated frontend.
+func Handshake(e *Engine, conn *transport.Conn) (*Session, error) {
+	msg, err := conn.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		_ = conn.WriteMessage(&wire.ErrorMsg{Code: wire.CodeBadRequest, Text: "expected Hello"})
+		return nil, fmt.Errorf("core: first message was %s", msg.Kind())
+	}
+	if hello.Proto != wire.ProtocolVersion {
+		_ = conn.WriteMessage(&wire.ErrorMsg{
+			RequestID: hello.RequestID,
+			Code:      wire.CodeBadVersion,
+			Text:      fmt.Sprintf("protocol %d unsupported", hello.Proto),
+		})
+		return nil, fmt.Errorf("core: client protocol %d", hello.Proto)
+	}
+	sess, err := e.AddSession(conn, hello.Name)
+	if err != nil {
+		_ = conn.WriteMessage(&wire.ErrorMsg{RequestID: hello.RequestID, Code: wire.CodeShuttingDown, Text: err.Error()})
+		return nil, err
+	}
+	sess.send(&wire.HelloAck{RequestID: hello.RequestID, ClientID: sess.ID, ServerID: e.ServerID()})
+	return sess, nil
+}
+
+// ServeSession runs the request loop for a registered session until the
+// connection drops, then tears the session down. Shared with the
+// replicated frontend.
+func ServeSession(e *Engine, sess *Session, conn *transport.Conn) {
+	crashed := true
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				crashed = false // orderly close
+			}
+			break
+		}
+		e.HandleMessage(sess, msg)
+	}
+	e.DropSession(sess, crashed)
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sync"
+
+	"corona/internal/locks"
+	"corona/internal/membership"
+	"corona/internal/transport"
+	"corona/internal/wire"
+)
+
+// Session is one connected client. All server→client traffic flows through
+// the session's write pump, so replies, deliveries, and notifications reach
+// the client in the order the engine produced them.
+type Session struct {
+	// ID is the globally unique client ID.
+	ID uint64
+	// Name is the client-chosen display name.
+	Name string
+
+	engine *Engine
+	conn   *transport.Conn
+	pump   *transport.Pump
+
+	closeOnce sync.Once
+}
+
+// AddSession registers a connection as a client session after the Hello
+// exchange. The frontend supplies the negotiated name.
+func (e *Engine) AddSession(conn *transport.Conn, name string) (*Session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	s := &Session{
+		ID:     e.newClientID(),
+		Name:   name,
+		engine: e,
+		conn:   conn,
+		pump:   transport.NewPump(conn, e.cfg.PumpDepth),
+	}
+	e.sessions[s.ID] = s
+	return s, nil
+}
+
+// DropSession removes a disconnected client: it leaves every group (firing
+// MemberCrashed notifications when crashed is true, MemberLeft otherwise),
+// releases its locks (granting queued waiters), and applies the
+// transient-group rule. The frontend calls it exactly once, after the read
+// loop ends; the connection itself is closed by the caller.
+func (e *Engine) DropSession(s *Session, crashed bool) {
+	change := wire.MemberLeft
+	if crashed {
+		change = wire.MemberCrashed
+	}
+	e.mu.Lock()
+	if _, ok := e.sessions[s.ID]; !ok {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.sessions, s.ID)
+
+	for _, name := range e.reg.GroupsOf(s.ID) {
+		e.removeMemberLocked(name, s.ID, change)
+	}
+	grants := e.locks.ReleaseAll(s.ID)
+	e.sendGrantsLocked(grants)
+	e.mu.Unlock()
+
+	s.pump.Close()
+}
+
+// removeMemberLocked removes a member from one group, notifies subscribers,
+// reports the change to the cluster hook, and deletes an emptied transient
+// group. Caller holds e.mu.
+func (e *Engine) removeMemberLocked(name string, clientID uint64, change wire.MembershipChange) {
+	g, ok := e.reg.Get(name)
+	if !ok || !g.Has(clientID) {
+		return
+	}
+	var info wire.MemberInfo
+	for _, m := range g.Members() {
+		if m.ClientID == clientID {
+			info = m
+			break
+		}
+	}
+	g2, empty, err := e.reg.Leave(name, clientID)
+	if err != nil {
+		return
+	}
+	e.notifySubscribersLocked(g2, change, info)
+	if e.cfg.Hooks.OnMembershipChange != nil {
+		e.cfg.Hooks.OnMembershipChange(name, change, info, g2.Size())
+	}
+	if empty && !g2.Persistent {
+		e.dropGroupLocked(name)
+	}
+}
+
+// dropGroupLocked deletes a group and its shared state. Caller holds e.mu.
+func (e *Engine) dropGroupLocked(name string) {
+	_ = e.reg.Delete(name, wire.MemberInfo{})
+	e.cleanupGroupLocked(name)
+}
+
+// cleanupGroupLocked discards a group's state, sequence counter, locks, and
+// logs the deletion; the registry entry is already gone. Caller holds e.mu.
+func (e *Engine) cleanupGroupLocked(name string) {
+	delete(e.states, name)
+	delete(e.lowLSN, name)
+	e.seqr.Drop(name)
+	orphans := e.locks.DropGroup(name)
+	for _, o := range orphans {
+		if s, ok := e.sessions[o.Client]; ok {
+			s.send(&wire.ErrorMsg{RequestID: o.Token, Code: wire.CodeNoSuchGroup, Text: "group deleted"})
+		}
+	}
+	e.persistDelete(name)
+}
+
+// sendGrantsLocked completes queued lock acquisitions. Caller holds e.mu.
+func (e *Engine) sendGrantsLocked(grants []locks.Grant) {
+	for _, g := range grants {
+		if s, ok := e.sessions[g.Client]; ok {
+			s.send(&wire.LockReply{RequestID: g.Token, Granted: true, Holder: g.Client})
+		}
+	}
+}
+
+// notifySubscribersLocked pushes a membership change to every subscribed
+// local member. Caller holds e.mu.
+func (e *Engine) notifySubscribersLocked(g *membership.Group, change wire.MembershipChange, member wire.MemberInfo) {
+	subs := g.Subscribers()
+	if len(subs) == 0 {
+		return
+	}
+	frame := transport.EncodeFrame(nil, &wire.MembershipNotify{
+		Group:  g.Name,
+		Change: change,
+		Member: member,
+		Count:  uint32(g.Size()),
+	})
+	for _, id := range subs {
+		if s, ok := e.sessions[id]; ok {
+			s.sendFrame(frame)
+		}
+	}
+}
+
+// NotifyMembership pushes a membership change originating on another server
+// of a replicated service to this server's local subscribers.
+func (e *Engine) NotifyMembership(group string, change wire.MembershipChange, member wire.MemberInfo, count uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.reg.Get(group)
+	if !ok {
+		return
+	}
+	frame := transport.EncodeFrame(nil, &wire.MembershipNotify{
+		Group: group, Change: change, Member: member, Count: count,
+	})
+	for _, id := range g.Subscribers() {
+		if s, ok := e.sessions[id]; ok {
+			s.sendFrame(frame)
+		}
+	}
+}
+
+// Send marshals and enqueues one message for the client. Failures close
+// the session asynchronously. The replicated frontend uses it to answer
+// intercepted requests.
+func (s *Session) Send(msg wire.Message) {
+	s.sendFrame(transport.EncodeFrame(nil, msg))
+}
+
+// send is the package-internal alias of Send.
+func (s *Session) send(msg wire.Message) { s.Send(msg) }
+
+// sendFrame enqueues a pre-encoded frame for the client.
+func (s *Session) sendFrame(frame []byte) {
+	s.sendFramePriority(frame, false)
+}
+
+// sendFramePriority enqueues a frame on the selected priority lane.
+func (s *Session) sendFramePriority(frame []byte, high bool) {
+	if err := s.pump.SendPriority(frame, high); err != nil {
+		go s.engine.failSession(s, err)
+	}
+}
+
+// close closes the connection, unblocking the read loop.
+func (s *Session) close() {
+	s.closeOnce.Do(func() { _ = s.conn.Close() })
+}

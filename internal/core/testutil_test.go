@@ -1,0 +1,11 @@
+package core
+
+import (
+	"io"
+	"log/slog"
+)
+
+// quietTestLogger silences engine logs in unit tests.
+func quietTestLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

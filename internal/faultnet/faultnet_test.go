@@ -1,0 +1,214 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func roundTrip(t *testing.T, c net.Conn, payload string) (string, error) {
+	t.Helper()
+	if _, err := c.Write([]byte(payload)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(payload))
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func TestPassThrough(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	got, err := roundTrip(t, c, "hello")
+	if err != nil || got != "hello" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	if p.Links() != 1 {
+		t.Errorf("Links = %d", p.Links())
+	}
+}
+
+func TestCutSeversAndRefuses(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if _, err := roundTrip(t, c, "x"); err != nil {
+		t.Fatal(err)
+	}
+	p.Cut()
+	// The existing link must observe an error quickly.
+	buf := make([]byte, 1)
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on a cut link succeeded")
+	}
+	// New connections are accepted then immediately closed.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		_ = c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c2.Read(buf); err == nil {
+			t.Fatal("cut proxy forwarded a new connection")
+		}
+		c2.Close()
+	}
+
+	p.Heal()
+	c3 := dialProxy(t, p)
+	if got, err := roundTrip(t, c3, "back"); err != nil || got != "back" {
+		t.Fatalf("after heal: %q, %v", got, err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDelay(50 * time.Millisecond)
+
+	c := dialProxy(t, p)
+	start := time.Now()
+	if _, err := roundTrip(t, c, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	// Two directions, each delayed once.
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("RTT %v too fast for 2x50ms injected delay", elapsed)
+	}
+}
+
+func TestBlackhole(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if _, err := roundTrip(t, c, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	p.Blackhole()
+	if _, err := c.Write([]byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	_ = c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("blackholed proxy delivered data")
+	}
+	// The connection is still open (a hang, not an error).
+	var ne net.Error
+	if _, err := c.Write([]byte("still-open")); err != nil {
+		if !isTimeout(err, &ne) {
+			t.Fatalf("write after blackhole: %v", err)
+		}
+	}
+}
+
+func isTimeout(err error, ne *net.Error) bool {
+	if e, ok := err.(net.Error); ok {
+		*ne = e
+		return e.Timeout()
+	}
+	return false
+}
+
+func TestProxyClose(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialProxy(t, p)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Error("link survived proxy close")
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestPair(t *testing.T) {
+	lnA := echoServer(t)
+	lnB := echoServer(t)
+	ab, ba, err := Pair(lnA.Addr().String(), lnB.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ab.Close()
+	defer ba.Close()
+
+	cToB, err := net.Dial("tcp", ab.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cToB.Close()
+	if got, err := roundTrip(t, cToB, "to-b"); err != nil || got != "to-b" {
+		t.Fatalf("a->b: %q, %v", got, err)
+	}
+	cToA, err := net.Dial("tcp", ba.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cToA.Close()
+	if got, err := roundTrip(t, cToA, "to-a"); err != nil || got != "to-a" {
+		t.Fatalf("b->a: %q, %v", got, err)
+	}
+}

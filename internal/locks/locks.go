@@ -1,0 +1,164 @@
+// Package locks implements Corona's synchronization service (paper §3.2:
+// "Corona also provides interfaces for synchronizing client updates through
+// locks"). Locks are named per group, granted first-come-first-served, and
+// released explicitly or implicitly when the holding client fails — the
+// server calls ReleaseAll on client disconnect so a crashed collaborator
+// can never wedge the group.
+//
+// The table is not self-synchronizing; the owning server serializes access.
+package locks
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Lock errors.
+var (
+	// ErrNotHeld is returned when releasing a lock the client does not hold.
+	ErrNotHeld = errors.New("locks: not held by client")
+)
+
+type key struct {
+	group, name string
+}
+
+// Grant identifies a queued acquire that has now been granted; the server
+// completes the client's pending LockAcquire request with it.
+type Grant struct {
+	Group  string
+	Name   string
+	Client uint64
+	// Token is the opaque correlation value passed to Acquire (the
+	// request ID of the queued acquire).
+	Token uint64
+}
+
+type waiter struct {
+	client uint64
+	token  uint64
+}
+
+type lock struct {
+	holder  uint64
+	waiters []waiter
+}
+
+// Table tracks the locks of all groups on a server.
+type Table struct {
+	locks map[key]*lock
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{locks: make(map[key]*lock)}
+}
+
+// Acquire attempts to take the lock for client. If the lock is free it is
+// granted immediately. If held and wait is true, the request queues behind
+// the holder and earlier waiters; token is returned in the eventual Grant.
+// Re-acquiring a lock already held by the same client is granted
+// idempotently.
+func (t *Table) Acquire(group, name string, client, token uint64, wait bool) (granted bool, holder uint64, queued bool) {
+	k := key{group, name}
+	l, ok := t.locks[k]
+	if !ok {
+		t.locks[k] = &lock{holder: client}
+		return true, client, false
+	}
+	if l.holder == client {
+		return true, client, false
+	}
+	if !wait {
+		return false, l.holder, false
+	}
+	l.waiters = append(l.waiters, waiter{client: client, token: token})
+	return false, l.holder, true
+}
+
+// Release releases a lock held by client. If waiters are queued, the lock
+// passes to the first and the corresponding Grant is returned.
+func (t *Table) Release(group, name string, client uint64) (*Grant, error) {
+	k := key{group, name}
+	l, ok := t.locks[k]
+	if !ok || l.holder != client {
+		return nil, fmt.Errorf("%w: %s/%s client %d", ErrNotHeld, group, name, client)
+	}
+	return t.pass(k, l), nil
+}
+
+// pass hands the lock to the next waiter or frees it. Caller has verified
+// the current holder is going away.
+func (t *Table) pass(k key, l *lock) *Grant {
+	if len(l.waiters) == 0 {
+		delete(t.locks, k)
+		return nil
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.holder = next.client
+	return &Grant{Group: k.group, Name: k.name, Client: next.client, Token: next.token}
+}
+
+// ReleaseAll releases every lock held by client and removes the client from
+// every wait queue: the lock-cleanup half of failure handling. It returns
+// the grants that result, sorted deterministically.
+func (t *Table) ReleaseAll(client uint64) []Grant {
+	var grants []Grant
+	// Two passes: drop the client from wait queues first so a lock it
+	// both holds (elsewhere) and waits on never re-grants to it.
+	for _, l := range t.locks {
+		kept := l.waiters[:0]
+		for _, w := range l.waiters {
+			if w.client != client {
+				kept = append(kept, w)
+			}
+		}
+		l.waiters = kept
+	}
+	for k, l := range t.locks {
+		if l.holder != client {
+			continue
+		}
+		if g := t.pass(k, l); g != nil {
+			grants = append(grants, *g)
+		}
+	}
+	sort.Slice(grants, func(i, j int) bool {
+		if grants[i].Group != grants[j].Group {
+			return grants[i].Group < grants[j].Group
+		}
+		return grants[i].Name < grants[j].Name
+	})
+	return grants
+}
+
+// DropGroup discards all locks of a deleted group. Queued waiters are
+// returned so the server can fail their pending requests.
+func (t *Table) DropGroup(group string) []Grant {
+	var orphans []Grant
+	for k, l := range t.locks {
+		if k.group != group {
+			continue
+		}
+		for _, w := range l.waiters {
+			orphans = append(orphans, Grant{Group: k.group, Name: k.name, Client: w.client, Token: w.token})
+		}
+		delete(t.locks, k)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].Name < orphans[j].Name })
+	return orphans
+}
+
+// Holder returns the current holder of a lock, if held.
+func (t *Table) Holder(group, name string) (uint64, bool) {
+	l, ok := t.locks[key{group, name}]
+	if !ok {
+		return 0, false
+	}
+	return l.holder, true
+}
+
+// Len returns the number of currently held locks.
+func (t *Table) Len() int { return len(t.locks) }

@@ -1,0 +1,212 @@
+package locks
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireFree(t *testing.T) {
+	tb := NewTable()
+	granted, holder, queued := tb.Acquire("g", "l", 1, 100, false)
+	if !granted || holder != 1 || queued {
+		t.Fatalf("acquire free: %v %d %v", granted, holder, queued)
+	}
+	if h, ok := tb.Holder("g", "l"); !ok || h != 1 {
+		t.Fatalf("Holder = %d, %v", h, ok)
+	}
+}
+
+func TestAcquireHeldNoWait(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire("g", "l", 1, 100, false)
+	granted, holder, queued := tb.Acquire("g", "l", 2, 101, false)
+	if granted || holder != 1 || queued {
+		t.Fatalf("acquire held: %v %d %v", granted, holder, queued)
+	}
+}
+
+func TestReacquireIdempotent(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire("g", "l", 1, 100, false)
+	granted, _, queued := tb.Acquire("g", "l", 1, 101, true)
+	if !granted || queued {
+		t.Fatalf("reacquire: %v %v", granted, queued)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire("g", "l", 1, 100, false)
+	for i := uint64(2); i <= 4; i++ {
+		_, _, queued := tb.Acquire("g", "l", i, 100+i, true)
+		if !queued {
+			t.Fatalf("client %d not queued", i)
+		}
+	}
+	for i := uint64(2); i <= 4; i++ {
+		grant, err := tb.Release("g", "l", i-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grant == nil || grant.Client != i || grant.Token != 100+i {
+			t.Fatalf("grant = %+v, want client %d", grant, i)
+		}
+	}
+	grant, err := tb.Release("g", "l", 4)
+	if err != nil || grant != nil {
+		t.Fatalf("final release: %+v, %v", grant, err)
+	}
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d after final release", tb.Len())
+	}
+}
+
+func TestReleaseNotHeld(t *testing.T) {
+	tb := NewTable()
+	if _, err := tb.Release("g", "l", 1); !errors.Is(err, ErrNotHeld) {
+		t.Errorf("release unheld: %v", err)
+	}
+	tb.Acquire("g", "l", 1, 100, false)
+	if _, err := tb.Release("g", "l", 2); !errors.Is(err, ErrNotHeld) {
+		t.Errorf("release by non-holder: %v", err)
+	}
+}
+
+func TestReleaseAllGrantsWaiters(t *testing.T) {
+	tb := NewTable()
+	// Client 1 holds two locks with waiters, and waits on a third.
+	tb.Acquire("g", "a", 1, 1, false)
+	tb.Acquire("g", "b", 1, 2, false)
+	tb.Acquire("g", "a", 2, 3, true)
+	tb.Acquire("g", "b", 3, 4, true)
+	tb.Acquire("g", "c", 2, 5, false)
+	tb.Acquire("g", "c", 1, 6, true) // client 1 waits on c
+
+	grants := tb.ReleaseAll(1)
+	want := []Grant{
+		{Group: "g", Name: "a", Client: 2, Token: 3},
+		{Group: "g", Name: "b", Client: 3, Token: 4},
+	}
+	if !reflect.DeepEqual(grants, want) {
+		t.Fatalf("grants = %+v", grants)
+	}
+	// Client 1 must no longer be queued on c.
+	grant, err := tb.Release("g", "c", 2)
+	if err != nil || grant != nil {
+		t.Fatalf("release c: %+v, %v (client 1 should have been dequeued)", grant, err)
+	}
+}
+
+func TestReleaseAllNoLocks(t *testing.T) {
+	tb := NewTable()
+	if grants := tb.ReleaseAll(9); grants != nil {
+		t.Errorf("grants = %+v", grants)
+	}
+}
+
+func TestDropGroup(t *testing.T) {
+	tb := NewTable()
+	tb.Acquire("g", "a", 1, 1, false)
+	tb.Acquire("g", "a", 2, 2, true)
+	tb.Acquire("h", "a", 3, 3, false)
+	orphans := tb.DropGroup("g")
+	if len(orphans) != 1 || orphans[0].Client != 2 {
+		t.Fatalf("orphans = %+v", orphans)
+	}
+	if _, ok := tb.Holder("g", "a"); ok {
+		t.Error("lock survived DropGroup")
+	}
+	if h, ok := tb.Holder("h", "a"); !ok || h != 3 {
+		t.Error("unrelated group's lock was dropped")
+	}
+}
+
+func TestLocksIndependentAcrossGroupsAndNames(t *testing.T) {
+	tb := NewTable()
+	g1, _, _ := tb.Acquire("g1", "l", 1, 1, false)
+	g2, _, _ := tb.Acquire("g2", "l", 2, 2, false)
+	g3, _, _ := tb.Acquire("g1", "m", 3, 3, false)
+	if !g1 || !g2 || !g3 {
+		t.Fatal("same-named locks in different scopes interfered")
+	}
+}
+
+// TestQuickLockInvariant drives a random schedule of acquires and releases
+// and checks two invariants: a lock is never granted to two live holders,
+// and every grant goes to the earliest compatible waiter (FIFO).
+func TestQuickLockInvariant(t *testing.T) {
+	type op struct {
+		Client  uint8
+		Acquire bool
+	}
+	f := func(ops []op) bool {
+		tb := NewTable()
+		var holder uint64 // 0 = free
+		var queue []uint64
+		for i, o := range ops {
+			c := uint64(o.Client%5) + 1
+			if o.Acquire {
+				granted, _, queued := tb.Acquire("g", "l", c, uint64(i), true)
+				switch {
+				case holder == 0:
+					if !granted {
+						return false
+					}
+					holder = c
+				case holder == c:
+					if !granted {
+						return false
+					}
+				default:
+					if granted || !queued {
+						return false
+					}
+					// Each wait-acquire queues independently and
+					// receives its own grant in turn.
+					queue = append(queue, c)
+				}
+			} else {
+				grant, err := tb.Release("g", "l", c)
+				if holder != c {
+					if err == nil {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				if len(queue) == 0 {
+					if grant != nil {
+						return false
+					}
+					holder = 0
+				} else {
+					if grant == nil || grant.Client != queue[0] {
+						return false
+					}
+					holder = queue[0]
+					queue = queue[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAcquireRelease(b *testing.B) {
+	tb := NewTable()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("l%d", i%16)
+		tb.Acquire("g", name, 1, 0, false)
+		if _, err := tb.Release("g", name, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package membership
+
+import (
+	"fmt"
+	"path"
+	"sync"
+
+	"corona/internal/wire"
+)
+
+// ACL is a rule-based SessionManager, implementing the access control the
+// paper lists as planned work ("we intend to add security mechanisms and
+// access control to the system"). Rules are matched against group names
+// with path.Match patterns (so "feed/*" covers every feed), in insertion
+// order; the first matching rule decides. Groups matched by no rule fall
+// back to the default policy.
+//
+// ACL is safe for concurrent use and may be updated while the server runs.
+type ACL struct {
+	mu    sync.RWMutex
+	rules []aclRule
+	// DefaultAllow permits actions on groups no rule matches.
+	defaultAllow bool
+}
+
+// ACLRule grants capabilities on the groups matching Pattern.
+type ACLRule struct {
+	// Pattern is a path.Match pattern over group names.
+	Pattern string
+	// Owners may create and delete matching groups (and do everything
+	// members may).
+	Owners []string
+	// Members may join as principals (and therefore modify state).
+	Members []string
+	// Observers may join only with the observer role.
+	Observers []string
+	// Public, when set, lets anyone join as an observer.
+	Public bool
+}
+
+type aclRule struct {
+	ACLRule
+	owners    map[string]bool
+	members   map[string]bool
+	observers map[string]bool
+}
+
+// NewACL builds an ACL. defaultAllow selects the policy for groups no rule
+// matches: true behaves like AllowAll for them, false denies every action
+// on them.
+func NewACL(defaultAllow bool, rules ...ACLRule) (*ACL, error) {
+	a := &ACL{defaultAllow: defaultAllow}
+	for _, r := range rules {
+		if err := a.AddRule(r); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// AddRule appends a rule. Rules are evaluated in insertion order.
+func (a *ACL) AddRule(r ACLRule) error {
+	if _, err := path.Match(r.Pattern, "probe"); err != nil {
+		return fmt.Errorf("membership: bad ACL pattern %q: %w", r.Pattern, err)
+	}
+	rule := aclRule{
+		ACLRule:   r,
+		owners:    toSet(r.Owners),
+		members:   toSet(r.Members),
+		observers: toSet(r.Observers),
+	}
+	a.mu.Lock()
+	a.rules = append(a.rules, rule)
+	a.mu.Unlock()
+	return nil
+}
+
+func toSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// Authorize implements SessionManager.
+func (a *ACL) Authorize(action Action, client wire.MemberInfo, group string) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for i := range a.rules {
+		r := &a.rules[i]
+		if ok, _ := path.Match(r.Pattern, group); !ok {
+			continue
+		}
+		if a.ruleAllows(r, action, client) {
+			return nil
+		}
+		return fmt.Errorf("membership: %q may not %s %q", client.Name, action, group)
+	}
+	if a.defaultAllow {
+		return nil
+	}
+	return fmt.Errorf("membership: no ACL rule covers %q and the default denies", group)
+}
+
+func (a *ACL) ruleAllows(r *aclRule, action Action, client wire.MemberInfo) bool {
+	if r.owners[client.Name] {
+		return true
+	}
+	switch action {
+	case ActionCreate, ActionDelete:
+		return false // owners only, handled above
+	case ActionJoin:
+		if r.members[client.Name] {
+			return true
+		}
+		// Observers (listed or public) may join only as observers.
+		if r.observers[client.Name] || r.Public {
+			return client.Role == wire.RoleObserver
+		}
+		return false
+	case ActionLeave:
+		return true // anyone who got in may leave
+	default:
+		return false
+	}
+}

@@ -1,0 +1,155 @@
+package membership
+
+import (
+	"testing"
+
+	"corona/internal/wire"
+)
+
+func principal(name string) wire.MemberInfo {
+	return wire.MemberInfo{ClientID: 1, Name: name, Role: wire.RolePrincipal}
+}
+
+func observer(name string) wire.MemberInfo {
+	return wire.MemberInfo{ClientID: 2, Name: name, Role: wire.RoleObserver}
+}
+
+func newTestACL(t *testing.T) *ACL {
+	t.Helper()
+	acl, err := NewACL(false,
+		ACLRule{
+			Pattern:   "feed/*",
+			Owners:    []string{"publisher"},
+			Observers: nil,
+			Public:    true,
+		},
+		ACLRule{
+			Pattern:   "project-x",
+			Owners:    []string{"lead"},
+			Members:   []string{"dev1", "dev2"},
+			Observers: []string{"auditor"},
+		},
+		ACLRule{Pattern: "open/*", Owners: nil, Members: nil, Public: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acl
+}
+
+func TestACLOwnersControlLifecycle(t *testing.T) {
+	acl := newTestACL(t)
+	if err := acl.Authorize(ActionCreate, principal("publisher"), "feed/mag"); err != nil {
+		t.Errorf("owner create: %v", err)
+	}
+	if err := acl.Authorize(ActionDelete, principal("publisher"), "feed/mag"); err != nil {
+		t.Errorf("owner delete: %v", err)
+	}
+	if err := acl.Authorize(ActionCreate, principal("random"), "feed/mag"); err == nil {
+		t.Error("non-owner create allowed")
+	}
+	if err := acl.Authorize(ActionDelete, principal("dev1"), "project-x"); err == nil {
+		t.Error("member delete allowed")
+	}
+}
+
+func TestACLMembersJoinAsPrincipals(t *testing.T) {
+	acl := newTestACL(t)
+	if err := acl.Authorize(ActionJoin, principal("dev1"), "project-x"); err != nil {
+		t.Errorf("member join: %v", err)
+	}
+	if err := acl.Authorize(ActionJoin, principal("stranger"), "project-x"); err == nil {
+		t.Error("stranger principal join allowed")
+	}
+}
+
+func TestACLObserversOnlyObserve(t *testing.T) {
+	acl := newTestACL(t)
+	if err := acl.Authorize(ActionJoin, observer("auditor"), "project-x"); err != nil {
+		t.Errorf("observer join as observer: %v", err)
+	}
+	if err := acl.Authorize(ActionJoin, principal("auditor"), "project-x"); err == nil {
+		t.Error("observer joined as principal")
+	}
+}
+
+func TestACLPublicGroups(t *testing.T) {
+	acl := newTestACL(t)
+	if err := acl.Authorize(ActionJoin, observer("anyone"), "feed/weather"); err != nil {
+		t.Errorf("public observer join: %v", err)
+	}
+	if err := acl.Authorize(ActionJoin, principal("anyone"), "feed/weather"); err == nil {
+		t.Error("public principal join allowed")
+	}
+	// Owner retains principal access on public groups.
+	if err := acl.Authorize(ActionJoin, principal("publisher"), "feed/weather"); err != nil {
+		t.Errorf("owner principal join on public feed: %v", err)
+	}
+}
+
+func TestACLFirstMatchWins(t *testing.T) {
+	acl, err := NewACL(false,
+		ACLRule{Pattern: "a*", Members: []string{"m1"}},
+		ACLRule{Pattern: "ab", Members: []string{"m2"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "ab" matches "a*" first: m2 is not covered by the first rule.
+	if err := acl.Authorize(ActionJoin, principal("m1"), "ab"); err != nil {
+		t.Errorf("first-rule member: %v", err)
+	}
+	if err := acl.Authorize(ActionJoin, principal("m2"), "ab"); err == nil {
+		t.Error("second rule applied despite first match")
+	}
+}
+
+func TestACLDefaultPolicy(t *testing.T) {
+	deny := newTestACL(t)
+	if err := deny.Authorize(ActionJoin, principal("x"), "uncovered"); err == nil {
+		t.Error("default-deny allowed an uncovered group")
+	}
+	allow, err := NewACL(true, ACLRule{Pattern: "locked", Owners: []string{"boss"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := allow.Authorize(ActionJoin, principal("x"), "uncovered"); err != nil {
+		t.Errorf("default-allow denied an uncovered group: %v", err)
+	}
+	if err := allow.Authorize(ActionJoin, principal("x"), "locked"); err == nil {
+		t.Error("rule ignored under default-allow")
+	}
+}
+
+func TestACLLeaveAlwaysAllowed(t *testing.T) {
+	acl := newTestACL(t)
+	if err := acl.Authorize(ActionLeave, principal("stranger"), "project-x"); err != nil {
+		t.Errorf("leave denied: %v", err)
+	}
+}
+
+func TestACLBadPattern(t *testing.T) {
+	if _, err := NewACL(false, ACLRule{Pattern: "[bad"}); err == nil {
+		t.Error("malformed pattern accepted")
+	}
+	acl, _ := NewACL(false)
+	if err := acl.AddRule(ACLRule{Pattern: "[bad"}); err == nil {
+		t.Error("AddRule accepted malformed pattern")
+	}
+}
+
+// TestACLEndToEnd wires the ACL into a live registry, proving the
+// SessionManager integration surface.
+func TestACLEndToEnd(t *testing.T) {
+	acl := newTestACL(t)
+	r := NewRegistry(acl)
+	if _, err := r.Create("project-x", true, principal("lead")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join("project-x", principal("dev1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join("project-x", principal("stranger"), false); err == nil {
+		t.Fatal("ACL not enforced through registry")
+	}
+}

@@ -1,0 +1,75 @@
+// Package seq implements the per-group sequencer at the heart of Corona's
+// ordering guarantees (paper §4.1): every multicast is assigned a unique,
+// monotonically increasing sequence number within its group, imposing a
+// total order. Because all messages flow through one sequencer (the single
+// server, or the coordinator of a replicated service) the total order is
+// also causal, and per-sender FIFO follows from per-connection FIFO.
+//
+// The sequencer is not self-synchronizing; the owning server serializes
+// access.
+package seq
+
+import (
+	"sort"
+	"time"
+)
+
+// Sequencer assigns sequence numbers and server timestamps per group.
+type Sequencer struct {
+	// next holds the sequence number the next event of each group gets.
+	next map[string]uint64
+	now  func() time.Time
+}
+
+// New returns a Sequencer using now for timestamps (nil means time.Now).
+func New(now func() time.Time) *Sequencer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Sequencer{next: make(map[string]uint64), now: now}
+}
+
+// Next assigns the next sequence number for group and a server timestamp
+// (Unix nanoseconds). The first event of a group gets sequence 1.
+func (s *Sequencer) Next(group string) (seqNo uint64, timestamp int64) {
+	n, ok := s.next[group]
+	if !ok {
+		n = 1
+	}
+	s.next[group] = n + 1
+	return n, s.now().UnixNano()
+}
+
+// Peek returns the sequence number the next event of group would get,
+// without consuming it.
+func (s *Sequencer) Peek(group string) uint64 {
+	n, ok := s.next[group]
+	if !ok {
+		return 1
+	}
+	return n
+}
+
+// Observe raises the group's counter so the next assignment exceeds seqNo.
+// Recovery paths use it: replaying a log, or a newly elected coordinator
+// folding in the high-water marks reported by the surviving servers.
+func (s *Sequencer) Observe(group string, seqNo uint64) {
+	if n := s.next[group]; seqNo+1 > n {
+		s.next[group] = seqNo + 1
+	}
+}
+
+// Drop forgets a deleted group's counter.
+func (s *Sequencer) Drop(group string) {
+	delete(s.next, group)
+}
+
+// Groups returns the tracked group names, sorted.
+func (s *Sequencer) Groups() []string {
+	out := make([]string, 0, len(s.next))
+	for g := range s.next {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}

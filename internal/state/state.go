@@ -1,0 +1,335 @@
+// Package state implements Corona's shared-state model (paper §3.1): a
+// group's shared state is a set S = {(O1,S1) … (On,Sn)} of uniquely
+// identified objects whose states are opaque byte streams. The server never
+// interprets object contents; members update the server's copy through the
+// multicast service, and joining members receive the state under one of the
+// customizable transfer policies.
+//
+// Two multicast primitives mutate the state (paper §3.2):
+//
+//   - bcastState: the message carries a new state for an object and
+//     overrides the present state.
+//   - bcastUpdate: the message carries an incremental change, appended to
+//     the existing state, preserving the history of updates.
+//
+// The update history supports incremental state transfer (TransferLastN,
+// TransferResume) and is trimmed by log reduction: the history up to a
+// point is replaced by the consistent state at that point, which is
+// equivalent to the initial state plus the discarded updates.
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"corona/internal/wire"
+)
+
+// Package errors.
+var (
+	// ErrStaleSeq is returned by Apply when an event's sequence number is
+	// not the next expected one.
+	ErrStaleSeq = errors.New("state: event sequence out of order")
+	// ErrSeqGap is returned by Resume when the requested suffix predates
+	// the group's checkpoint and can no longer be served incrementally.
+	ErrSeqGap = errors.New("state: requested sequence precedes checkpoint")
+)
+
+// Group holds one group's shared state: the materialized objects, the
+// retained update history, and the checkpoint base. Group is not
+// self-synchronizing; the owning server serializes access.
+type Group struct {
+	objects map[string][]byte
+	// history holds events with Seq in (baseSeq, nextSeq), oldest first.
+	history []wire.Event
+	// baseSeq is the sequence number of the last checkpoint: every event
+	// with Seq <= baseSeq has been folded into objects and discarded.
+	baseSeq uint64
+	// nextSeq is the sequence number the next event must carry (assigned
+	// by the sequencer).
+	nextSeq uint64
+	// digest chains a hash over every applied event. Two replicas that
+	// applied the same event sequence have the same digest; after a
+	// network partition, differing digests at the same sequence number
+	// expose divergence (paper §4.2: the last globally consistent state
+	// is identified from checkpoints and sequence numbers).
+	digest uint64
+}
+
+// DigestEvent folds one event into a history digest. The chain is
+// FNV-1a-style and deterministic across replicas: every sequencer and
+// replica computing the chain over the same events gets the same value.
+func DigestEvent(digest uint64, ev wire.Event) uint64 {
+	const prime = 1099511628211
+	mix := func(h uint64, b byte) uint64 {
+		return (h ^ uint64(b)) * prime
+	}
+	h := digest
+	if h == 0 {
+		h = 14695981039346656037 // FNV offset basis
+	}
+	for i := 0; i < 8; i++ {
+		h = mix(h, byte(ev.Seq>>(8*i)))
+	}
+	h = mix(h, byte(ev.Kind))
+	for i := 0; i < len(ev.ObjectID); i++ {
+		h = mix(h, ev.ObjectID[i])
+	}
+	h = mix(h, 0) // separator between ID and data
+	for _, b := range ev.Data {
+		h = mix(h, b)
+	}
+	return h
+}
+
+// New returns an empty group state expecting its first event at sequence 1.
+func New() *Group {
+	return &Group{objects: make(map[string][]byte), nextSeq: 1}
+}
+
+// NewInitial returns a group state seeded with the given initial objects
+// (paper §3.2: when creating a group, a client specifies the initial state).
+func NewInitial(initial []wire.Object) *Group {
+	g := New()
+	for _, o := range initial {
+		g.objects[o.ID] = cloneBytes(o.Data)
+	}
+	return g
+}
+
+// Restore rebuilds a group state from a snapshot taken at baseSeq plus the
+// event suffix that follows it. It is used by WAL recovery, replica state
+// transfer, and reconnecting clients.
+func Restore(baseSeq uint64, objects []wire.Object, events []wire.Event) (*Group, error) {
+	g := &Group{objects: make(map[string][]byte, len(objects)), baseSeq: baseSeq, nextSeq: baseSeq + 1}
+	for _, o := range objects {
+		g.objects[o.ID] = cloneBytes(o.Data)
+	}
+	for _, ev := range events {
+		if err := g.Apply(ev); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// NextSeq returns the sequence number the next event must carry.
+func (g *Group) NextSeq() uint64 { return g.nextSeq }
+
+// BaseSeq returns the checkpoint base: the highest sequence number whose
+// event has been folded into the materialized objects and discarded.
+func (g *Group) BaseSeq() uint64 { return g.baseSeq }
+
+// HistoryLen returns the number of retained history events.
+func (g *Group) HistoryLen() int { return len(g.history) }
+
+// ObjectCount returns the number of objects in the shared state.
+func (g *Group) ObjectCount() int { return len(g.objects) }
+
+// Apply folds one sequenced event into the state and retains it in the
+// history. The event must carry the next expected sequence number.
+func (g *Group) Apply(ev wire.Event) error {
+	if ev.Seq != g.nextSeq {
+		return fmt.Errorf("%w: got %d, want %d", ErrStaleSeq, ev.Seq, g.nextSeq)
+	}
+	if !ev.Kind.Valid() {
+		return fmt.Errorf("state: invalid event kind %d", ev.Kind)
+	}
+	g.applyToObjects(ev)
+	g.history = append(g.history, cloneEvent(ev))
+	g.nextSeq++
+	g.digest = DigestEvent(g.digest, ev)
+	return nil
+}
+
+// Digest returns the running history digest (see DigestEvent).
+func (g *Group) Digest() uint64 { return g.digest }
+
+func (g *Group) applyToObjects(ev wire.Event) {
+	switch ev.Kind {
+	case wire.EventState:
+		g.objects[ev.ObjectID] = cloneBytes(ev.Data)
+	case wire.EventUpdate:
+		g.objects[ev.ObjectID] = append(g.objects[ev.ObjectID], ev.Data...)
+	}
+}
+
+// Object returns a copy of one object's current state and whether the
+// object exists.
+func (g *Group) Object(id string) ([]byte, bool) {
+	data, ok := g.objects[id]
+	if !ok {
+		return nil, false
+	}
+	return cloneBytes(data), true
+}
+
+// Objects returns a copy of the full object set, sorted by ID for
+// deterministic wire encoding and tests.
+func (g *Group) Objects() []wire.Object {
+	out := make([]wire.Object, 0, len(g.objects))
+	for id, data := range g.objects {
+		out = append(out, wire.Object{ID: id, Data: cloneBytes(data)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Snapshot materializes a state transfer under the given policy (paper
+// §3.2, customized state transfer). It returns the snapshot objects, the
+// event suffix, and the base sequence number the objects incorporate.
+//
+// For TransferResume, ErrSeqGap means the requested suffix has been
+// reduced away; the caller should fall back to a full transfer.
+func (g *Group) Snapshot(policy wire.TransferPolicy) (objects []wire.Object, events []wire.Event, baseSeq uint64, err error) {
+	switch policy.Mode {
+	case wire.TransferFull:
+		return g.Objects(), nil, g.nextSeq - 1, nil
+	case wire.TransferLastN:
+		n := int(policy.LastN)
+		if n > len(g.history) {
+			n = len(g.history)
+		}
+		events = cloneEvents(g.history[len(g.history)-n:])
+		var base uint64 = g.baseSeq
+		if len(g.history) > n {
+			base = g.history[len(g.history)-n-1].Seq
+		}
+		return nil, events, base, nil
+	case wire.TransferObjects:
+		objects = make([]wire.Object, 0, len(policy.Objects))
+		for _, id := range policy.Objects {
+			if data, ok := g.objects[id]; ok {
+				objects = append(objects, wire.Object{ID: id, Data: cloneBytes(data)})
+			}
+		}
+		return objects, nil, g.nextSeq - 1, nil
+	case wire.TransferNone:
+		return nil, nil, g.nextSeq - 1, nil
+	case wire.TransferResume:
+		events, err = g.Resume(policy.FromSeq)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		base := policy.FromSeq - 1
+		if policy.FromSeq == 0 {
+			base = 0
+		}
+		return nil, events, base, nil
+	default:
+		return nil, nil, 0, fmt.Errorf("state: invalid transfer mode %d", policy.Mode)
+	}
+}
+
+// Resume returns a copy of every retained event with Seq >= from. It
+// returns ErrSeqGap when from <= baseSeq (the suffix was reduced away),
+// unless the group has never been reduced and from addresses the full
+// history.
+func (g *Group) Resume(from uint64) ([]wire.Event, error) {
+	if from <= g.baseSeq {
+		return nil, fmt.Errorf("%w: from %d, checkpoint %d", ErrSeqGap, from, g.baseSeq)
+	}
+	idx := sort.Search(len(g.history), func(i int) bool { return g.history[i].Seq >= from })
+	return cloneEvents(g.history[idx:]), nil
+}
+
+// Reduce performs state-log reduction: every history event with
+// Seq <= upToSeq is discarded and the checkpoint base advances to upToSeq.
+// The materialized objects are untouched — they already incorporate the
+// discarded events, so "the new state is equivalent with the initial state
+// plus the history of state updates" (paper §3.2). upToSeq of 0 reduces up
+// to the latest applied event. It returns the number of events discarded.
+func (g *Group) Reduce(upToSeq uint64) (trimmed int) {
+	if upToSeq == 0 || upToSeq >= g.nextSeq {
+		upToSeq = g.nextSeq - 1
+	}
+	if upToSeq <= g.baseSeq {
+		return 0
+	}
+	idx := sort.Search(len(g.history), func(i int) bool { return g.history[i].Seq > upToSeq })
+	trimmed = idx
+	g.history = append([]wire.Event(nil), g.history[idx:]...)
+	g.baseSeq = upToSeq
+	return trimmed
+}
+
+// Checkpoint captures the complete in-memory state for persistence: the
+// checkpoint base, the materialized objects (which incorporate every
+// applied event), and the retained history suffix. RestoreMaterialized
+// reverses it exactly, so a server can persist a checkpoint record, drop
+// the WAL prefix, and recover without replaying folded events.
+func (g *Group) Checkpoint() Checkpointed {
+	return Checkpointed{
+		BaseSeq: g.baseSeq,
+		NextSeq: g.nextSeq,
+		Digest:  g.digest,
+		Objects: g.Objects(),
+		History: g.History(),
+	}
+}
+
+// Checkpointed is the serializable image of a Group produced by Checkpoint.
+type Checkpointed struct {
+	BaseSeq uint64
+	NextSeq uint64
+	Digest  uint64
+	Objects []wire.Object
+	History []wire.Event
+}
+
+// RestoreMaterialized rebuilds a group from a Checkpoint image. Unlike
+// Restore, the history events are NOT re-applied to the objects — the
+// objects already incorporate them.
+func RestoreMaterialized(cp Checkpointed) (*Group, error) {
+	g := &Group{
+		objects: make(map[string][]byte, len(cp.Objects)),
+		baseSeq: cp.BaseSeq,
+		nextSeq: cp.NextSeq,
+		digest:  cp.Digest,
+		history: cloneEvents(cp.History),
+	}
+	if cp.NextSeq == 0 {
+		g.nextSeq = 1
+	}
+	for _, o := range cp.Objects {
+		g.objects[o.ID] = cloneBytes(o.Data)
+	}
+	// Sanity: the history must be a contiguous run ending at nextSeq-1.
+	for i, ev := range g.history {
+		want := cp.NextSeq - uint64(len(g.history)-i)
+		if ev.Seq != want {
+			return nil, fmt.Errorf("%w: checkpoint history seq %d, want %d", ErrStaleSeq, ev.Seq, want)
+		}
+	}
+	return g, nil
+}
+
+// History returns a copy of the retained history (oldest first). Intended
+// for tests and replica transfer.
+func (g *Group) History() []wire.Event { return cloneEvents(g.history) }
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func cloneEvent(ev wire.Event) wire.Event {
+	ev.Data = cloneBytes(ev.Data)
+	return ev
+}
+
+func cloneEvents(evs []wire.Event) []wire.Event {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]wire.Event, len(evs))
+	for i := range evs {
+		out[i] = cloneEvent(evs[i])
+	}
+	return out
+}

@@ -1,0 +1,547 @@
+package state
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"corona/internal/wire"
+)
+
+func ev(seq uint64, kind wire.EventKind, obj string, data string) wire.Event {
+	return wire.Event{Seq: seq, Kind: kind, ObjectID: obj, Data: []byte(data), Sender: 1, Time: int64(seq)}
+}
+
+func mustApply(t *testing.T, g *Group, events ...wire.Event) {
+	t.Helper()
+	for _, e := range events {
+		if err := g.Apply(e); err != nil {
+			t.Fatalf("Apply(%d): %v", e.Seq, err)
+		}
+	}
+}
+
+func TestStateOverrides(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "o", "first"),
+		ev(2, wire.EventState, "o", "second"),
+	)
+	data, ok := g.Object("o")
+	if !ok || string(data) != "second" {
+		t.Fatalf("Object = %q, %v", data, ok)
+	}
+}
+
+func TestUpdateAppends(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "o", "base|"),
+		ev(2, wire.EventUpdate, "o", "u1|"),
+		ev(3, wire.EventUpdate, "o", "u2"),
+	)
+	data, _ := g.Object("o")
+	if string(data) != "base|u1|u2" {
+		t.Fatalf("Object = %q, want concatenated history", data)
+	}
+}
+
+func TestUpdateOnMissingObjectCreatesIt(t *testing.T) {
+	g := New()
+	mustApply(t, g, ev(1, wire.EventUpdate, "fresh", "x"))
+	data, ok := g.Object("fresh")
+	if !ok || string(data) != "x" {
+		t.Fatalf("Object = %q, %v", data, ok)
+	}
+}
+
+func TestApplySequenceGate(t *testing.T) {
+	g := New()
+	if err := g.Apply(ev(2, wire.EventState, "o", "skip")); !errors.Is(err, ErrStaleSeq) {
+		t.Errorf("gap apply: %v, want ErrStaleSeq", err)
+	}
+	mustApply(t, g, ev(1, wire.EventState, "o", "ok"))
+	if err := g.Apply(ev(1, wire.EventState, "o", "replay")); !errors.Is(err, ErrStaleSeq) {
+		t.Errorf("replay apply: %v, want ErrStaleSeq", err)
+	}
+	if err := g.Apply(wire.Event{Seq: 2, Kind: 0, ObjectID: "o"}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestNewInitial(t *testing.T) {
+	g := NewInitial([]wire.Object{{ID: "a", Data: []byte("1")}, {ID: "b"}})
+	if g.ObjectCount() != 2 {
+		t.Fatalf("ObjectCount = %d", g.ObjectCount())
+	}
+	if g.NextSeq() != 1 {
+		t.Fatalf("NextSeq = %d, want 1", g.NextSeq())
+	}
+	data, ok := g.Object("a")
+	if !ok || string(data) != "1" {
+		t.Errorf("initial object a = %q", data)
+	}
+}
+
+func TestSnapshotFull(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "b", "bb"),
+		ev(2, wire.EventState, "a", "aa"),
+	)
+	objs, events, base, err := g.Snapshot(wire.FullTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 || base != 2 {
+		t.Fatalf("events %d, base %d", len(events), base)
+	}
+	want := []wire.Object{{ID: "a", Data: []byte("aa")}, {ID: "b", Data: []byte("bb")}}
+	if !reflect.DeepEqual(objs, want) {
+		t.Fatalf("objects = %#v", objs)
+	}
+}
+
+func TestSnapshotLastN(t *testing.T) {
+	g := New()
+	for i := uint64(1); i <= 10; i++ {
+		mustApply(t, g, ev(i, wire.EventUpdate, "o", fmt.Sprintf("u%d", i)))
+	}
+	_, events, base, err := g.Snapshot(wire.TransferPolicy{Mode: wire.TransferLastN, LastN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[0].Seq != 8 || events[2].Seq != 10 {
+		t.Fatalf("events = %+v", events)
+	}
+	if base != 7 {
+		t.Fatalf("base = %d, want 7", base)
+	}
+	// Asking for more than exists returns everything.
+	_, events, base, err = g.Snapshot(wire.TransferPolicy{Mode: wire.TransferLastN, LastN: 99})
+	if err != nil || len(events) != 10 || base != 0 {
+		t.Fatalf("lastN overshoot: %d events, base %d, err %v", len(events), base, err)
+	}
+}
+
+func TestSnapshotObjects(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "a", "aa"),
+		ev(2, wire.EventState, "b", "bb"),
+	)
+	objs, _, _, err := g.Snapshot(wire.TransferPolicy{Mode: wire.TransferObjects, Objects: []string{"b", "missing"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].ID != "b" {
+		t.Fatalf("objects = %#v", objs)
+	}
+}
+
+func TestSnapshotNone(t *testing.T) {
+	g := New()
+	mustApply(t, g, ev(1, wire.EventState, "a", "aa"))
+	objs, events, base, err := g.Snapshot(wire.TransferPolicy{Mode: wire.TransferNone})
+	if err != nil || objs != nil || events != nil || base != 1 {
+		t.Fatalf("none transfer: %v %v %d %v", objs, events, base, err)
+	}
+}
+
+func TestSnapshotInvalidMode(t *testing.T) {
+	g := New()
+	if _, _, _, err := g.Snapshot(wire.TransferPolicy{Mode: 0}); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+func TestResume(t *testing.T) {
+	g := New()
+	for i := uint64(1); i <= 5; i++ {
+		mustApply(t, g, ev(i, wire.EventUpdate, "o", "x"))
+	}
+	events, err := g.Resume(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[0].Seq != 3 {
+		t.Fatalf("resume(3) = %+v", events)
+	}
+	// Resume past the end is an empty suffix, not an error.
+	events, err = g.Resume(6)
+	if err != nil || len(events) != 0 {
+		t.Fatalf("resume(6) = %v, %v", events, err)
+	}
+	// Resume under the checkpoint fails with ErrSeqGap.
+	g.Reduce(3)
+	if _, err := g.Resume(2); !errors.Is(err, ErrSeqGap) {
+		t.Errorf("resume under checkpoint: %v", err)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	g := New()
+	for i := uint64(1); i <= 10; i++ {
+		mustApply(t, g, ev(i, wire.EventUpdate, "o", "d"))
+	}
+	full, _ := g.Object("o")
+
+	trimmed := g.Reduce(6)
+	if trimmed != 6 {
+		t.Fatalf("trimmed = %d, want 6", trimmed)
+	}
+	if g.BaseSeq() != 6 || g.HistoryLen() != 4 {
+		t.Fatalf("base %d history %d", g.BaseSeq(), g.HistoryLen())
+	}
+	// Reduction must not change the materialized state.
+	after, _ := g.Object("o")
+	if !bytes.Equal(full, after) {
+		t.Fatal("Reduce changed object state")
+	}
+	// Reducing behind the base is a no-op.
+	if n := g.Reduce(3); n != 0 {
+		t.Fatalf("re-reduce trimmed %d", n)
+	}
+	// Reduce(0) means up to latest.
+	if n := g.Reduce(0); n != 4 {
+		t.Fatalf("Reduce(0) trimmed %d, want 4", n)
+	}
+	if g.HistoryLen() != 0 || g.BaseSeq() != 10 {
+		t.Fatalf("after full reduce: history %d base %d", g.HistoryLen(), g.BaseSeq())
+	}
+	// The group keeps accepting events afterwards.
+	mustApply(t, g, ev(11, wire.EventUpdate, "o", "z"))
+}
+
+func TestRestoreAppliesSuffix(t *testing.T) {
+	objs := []wire.Object{{ID: "o", Data: []byte("base")}}
+	events := []wire.Event{
+		ev(6, wire.EventUpdate, "o", "+6"),
+		ev(7, wire.EventUpdate, "o", "+7"),
+	}
+	g, err := Restore(5, objs, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := g.Object("o")
+	if string(data) != "base+6+7" {
+		t.Fatalf("restored object = %q", data)
+	}
+	if g.NextSeq() != 8 || g.BaseSeq() != 5 {
+		t.Fatalf("NextSeq %d BaseSeq %d", g.NextSeq(), g.BaseSeq())
+	}
+}
+
+func TestRestoreRejectsGappySuffix(t *testing.T) {
+	if _, err := Restore(5, nil, []wire.Event{ev(9, wire.EventUpdate, "o", "x")}); err == nil {
+		t.Error("gappy suffix accepted")
+	}
+}
+
+func TestCheckpointRestoreMaterialized(t *testing.T) {
+	g := New()
+	for i := uint64(1); i <= 8; i++ {
+		mustApply(t, g, ev(i, wire.EventUpdate, "o", fmt.Sprintf("%d|", i)))
+	}
+	g.Reduce(5)
+	cp := g.Checkpoint()
+
+	g2, err := RestoreMaterialized(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NextSeq() != g.NextSeq() || g2.BaseSeq() != g.BaseSeq() || g2.HistoryLen() != g.HistoryLen() {
+		t.Fatalf("restored shape mismatch: %d/%d/%d vs %d/%d/%d",
+			g2.NextSeq(), g2.BaseSeq(), g2.HistoryLen(), g.NextSeq(), g.BaseSeq(), g.HistoryLen())
+	}
+	a, _ := g.Object("o")
+	b, _ := g2.Object("o")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("restored object differs: %q vs %q", b, a)
+	}
+	// And it keeps working.
+	if err := g2.Apply(ev(9, wire.EventUpdate, "o", "9|")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreMaterializedRejectsBadHistory(t *testing.T) {
+	cp := Checkpointed{
+		BaseSeq: 0, NextSeq: 5,
+		History: []wire.Event{ev(2, wire.EventUpdate, "o", "x")}, // should be seq 4
+	}
+	if _, err := RestoreMaterialized(cp); !errors.Is(err, ErrStaleSeq) {
+		t.Errorf("got %v, want ErrStaleSeq", err)
+	}
+}
+
+func TestRestoreMaterializedZero(t *testing.T) {
+	g, err := RestoreMaterialized(Checkpointed{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NextSeq() != 1 {
+		t.Fatalf("NextSeq = %d", g.NextSeq())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	g := New()
+	mustApply(t, g, ev(1, wire.EventState, "o", "orig"))
+	objs, _, _, _ := g.Snapshot(wire.FullTransfer)
+	objs[0].Data[0] = 'X'
+	data, _ := g.Object("o")
+	if string(data) != "orig" {
+		t.Error("snapshot aliases internal state")
+	}
+	// Object() must also return a copy.
+	data[0] = 'Y'
+	again, _ := g.Object("o")
+	if string(again) != "orig" {
+		t.Error("Object aliases internal state")
+	}
+}
+
+func TestDigestTracksHistory(t *testing.T) {
+	g1, g2 := New(), New()
+	if g1.Digest() != 0 {
+		t.Fatal("fresh group has nonzero digest")
+	}
+	events := []wire.Event{
+		ev(1, wire.EventState, "a", "x"),
+		ev(2, wire.EventUpdate, "a", "y"),
+		ev(3, wire.EventUpdate, "b", "z"),
+	}
+	for _, e := range events {
+		mustApply(t, g1, e)
+		mustApply(t, g2, e)
+	}
+	if g1.Digest() == 0 || g1.Digest() != g2.Digest() {
+		t.Fatalf("same history, digests %x vs %x", g1.Digest(), g2.Digest())
+	}
+	// A divergent third event must produce a different digest.
+	g3 := New()
+	mustApply(t, g3, events[0], events[1], ev(3, wire.EventUpdate, "b", "DIFFERENT"))
+	if g3.Digest() == g1.Digest() {
+		t.Fatal("divergent histories share a digest")
+	}
+	// Reduction must not change the digest (history content unchanged).
+	before := g1.Digest()
+	g1.Reduce(2)
+	if g1.Digest() != before {
+		t.Fatal("Reduce changed the digest")
+	}
+	// Checkpoint/restore preserves it.
+	g4, err := RestoreMaterialized(g1.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.Digest() != before {
+		t.Fatal("restore lost the digest")
+	}
+	// And the chain continues identically on both.
+	next := ev(4, wire.EventUpdate, "a", "w")
+	mustApply(t, g1, next)
+	mustApply(t, g4, next)
+	if g1.Digest() != g4.Digest() {
+		t.Fatal("digest chains diverged after restore")
+	}
+}
+
+func TestDigestEventSensitivity(t *testing.T) {
+	base := wire.Event{Seq: 1, Kind: wire.EventUpdate, ObjectID: "o", Data: []byte("d")}
+	d0 := DigestEvent(0, base)
+	variants := []wire.Event{
+		{Seq: 2, Kind: wire.EventUpdate, ObjectID: "o", Data: []byte("d")},
+		{Seq: 1, Kind: wire.EventState, ObjectID: "o", Data: []byte("d")},
+		{Seq: 1, Kind: wire.EventUpdate, ObjectID: "p", Data: []byte("d")},
+		{Seq: 1, Kind: wire.EventUpdate, ObjectID: "o", Data: []byte("e")},
+	}
+	for i, v := range variants {
+		if DigestEvent(0, v) == d0 {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+	// Chaining order matters.
+	a := DigestEvent(DigestEvent(0, base), variants[0])
+	b := DigestEvent(DigestEvent(0, variants[0]), base)
+	if a == b {
+		t.Error("chain is order-insensitive")
+	}
+}
+
+// replayAll builds a Group by applying all events in order.
+func replayAll(events []wire.Event) *Group {
+	g := New()
+	for _, e := range events {
+		if err := g.Apply(e); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// TestQuickReductionEquivalence is the paper's log-reduction invariant: for
+// any event sequence and any reduction point, the reduced group's
+// materialized objects equal the full replay's, and snapshot + retained
+// suffix restores an equivalent group.
+func TestQuickReductionEquivalence(t *testing.T) {
+	type step struct {
+		Kind  bool // false: state, true: update
+		Obj   uint8
+		Data  []byte
+		IsCut bool
+	}
+	f := func(steps []step, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		if len(steps) > 64 {
+			steps = steps[:64]
+		}
+		var events []wire.Event
+		for i, s := range steps {
+			kind := wire.EventState
+			if s.Kind {
+				kind = wire.EventUpdate
+			}
+			events = append(events, wire.Event{
+				Seq:      uint64(i + 1),
+				Kind:     kind,
+				ObjectID: fmt.Sprintf("o%d", s.Obj%4),
+				Data:     s.Data,
+			})
+		}
+		full := replayAll(events)
+
+		reduced := replayAll(events)
+		if len(events) > 0 {
+			cut := uint64(rng.Intn(len(events)+1)) + 1 // may exceed; Reduce clamps
+			reduced.Reduce(cut)
+		}
+		if !reflect.DeepEqual(full.Objects(), reduced.Objects()) {
+			return false
+		}
+
+		// checkpoint + restore equivalence
+		g2, err := RestoreMaterialized(reduced.Checkpoint())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(reduced.Objects(), g2.Objects()) &&
+			g2.NextSeq() == reduced.NextSeq() &&
+			g2.HistoryLen() == reduced.HistoryLen()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLastNPlusBaseRebuild checks that a LastN transfer is coherent:
+// an object rebuilt from a full transfer equals one rebuilt from any
+// suffix applied on top of the full state at the suffix's base.
+func TestQuickLastNPlusBaseRebuild(t *testing.T) {
+	f := func(datas [][]byte, n uint8) bool {
+		if len(datas) > 40 {
+			datas = datas[:40]
+		}
+		var events []wire.Event
+		for i, d := range datas {
+			events = append(events, wire.Event{
+				Seq: uint64(i + 1), Kind: wire.EventUpdate, ObjectID: "o", Data: d,
+			})
+		}
+		full := replayAll(events)
+		_, suffix, base, err := full.Snapshot(wire.TransferPolicy{Mode: wire.TransferLastN, LastN: uint32(n)})
+		if err != nil {
+			return false
+		}
+		// Rebuild: replay the prefix up to base, then apply the suffix.
+		prefix := replayAll(events[:base])
+		for _, e := range suffix {
+			if err := prefix.Apply(e); err != nil {
+				return false
+			}
+		}
+		return reflect.DeepEqual(prefix.Objects(), full.Objects())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkApplyUpdate1000(b *testing.B) {
+	g := New()
+	data := make([]byte, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := wire.Event{Seq: uint64(i + 1), Kind: wire.EventState, ObjectID: "o", Data: data}
+		if err := g.Apply(e); err != nil {
+			b.Fatal(err)
+		}
+		if g.HistoryLen() > 1024 {
+			g.Reduce(0)
+		}
+	}
+}
+
+func TestSnapshotObjectsAfterReduce(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "a", "A"),
+		ev(2, wire.EventUpdate, "a", "+"),
+		ev(3, wire.EventState, "b", "B"),
+	)
+	g.Reduce(0)
+	objs, events, base, err := g.Snapshot(wire.TransferPolicy{Mode: wire.TransferObjects, Objects: []string{"a"}})
+	if err != nil || len(events) != 0 {
+		t.Fatalf("err=%v events=%d", err, len(events))
+	}
+	if base != 3 || len(objs) != 1 || string(objs[0].Data) != "A+" {
+		t.Fatalf("objs=%+v base=%d", objs, base)
+	}
+}
+
+// TestQuickResumeEqualsSuffix: for any history and any valid resume point,
+// Resume returns exactly the suffix of the full event sequence.
+func TestQuickResumeEqualsSuffix(t *testing.T) {
+	f := func(datas [][]byte, fromRaw uint8) bool {
+		if len(datas) > 30 {
+			datas = datas[:30]
+		}
+		g := New()
+		var all []wire.Event
+		for i, d := range datas {
+			e := wire.Event{Seq: uint64(i + 1), Kind: wire.EventUpdate, ObjectID: "o", Data: d}
+			if err := g.Apply(e); err != nil {
+				return false
+			}
+			all = append(all, e)
+		}
+		from := uint64(fromRaw)%uint64(len(datas)+2) + 1
+		got, err := g.Resume(from)
+		if err != nil {
+			return false
+		}
+		var want []wire.Event
+		for _, e := range all {
+			if e.Seq >= from {
+				want = append(want, e)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Seq != want[i].Seq || !bytes.Equal(got[i].Data, want[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

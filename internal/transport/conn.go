@@ -1,0 +1,173 @@
+// Package transport frames Corona wire messages over TCP (or any
+// net.Conn). A frame is a 4-byte big-endian length followed by the encoded
+// message. The package also provides Pump, a bounded asynchronous writer
+// used by servers to fan a multicast out to many members without letting a
+// slow receiver stall the group.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"corona/internal/wire"
+)
+
+// Frame and connection errors.
+var (
+	// ErrFrameTooBig is returned when a peer announces a frame larger
+	// than wire.MaxFrame.
+	ErrFrameTooBig = errors.New("transport: frame exceeds maximum size")
+	// ErrPumpOverflow is returned by Pump.Send when the receiver cannot
+	// keep up and its queue is full.
+	ErrPumpOverflow = errors.New("transport: send queue overflow")
+	// ErrPumpClosed is returned by Pump.Send after the pump has stopped.
+	ErrPumpClosed = errors.New("transport: pump closed")
+)
+
+// Conn is a framed message connection. Reads must come from a single
+// goroutine; writes are internally serialized and may come from many.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	// wbuf is the reusable marshal buffer, guarded by wmu.
+	wbuf []byte
+
+	// rbuf is the reusable read buffer, owned by the reading goroutine.
+	rbuf []byte
+}
+
+// NewConn wraps nc in a framed connection.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Dial connects to addr with the given timeout and returns a framed
+// connection with TCP_NODELAY set (interactive latency matters more than
+// byte efficiency for a collaboration service).
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return NewConn(nc), nil
+}
+
+// ReadMessage reads and decodes one message. The returned message does not
+// alias the connection's buffers. io.EOF is returned unwrapped on a clean
+// close between frames.
+func (c *Conn) ReadMessage() (wire.Message, error) {
+	frame, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	msg, err := wire.Unmarshal(frame)
+	if err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// readFrame returns the next frame payload. The slice is valid until the
+// next call.
+func (c *Conn) readFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > wire.MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	buf := c.rbuf[:n]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, fmt.Errorf("transport: short frame: %w", err)
+	}
+	return buf, nil
+}
+
+// WriteMessage encodes and writes one message, flushing immediately.
+func (c *Conn) WriteMessage(msg wire.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = appendFrame(c.wbuf[:0], msg)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// WriteFrame writes a pre-encoded frame (as produced by EncodeFrame),
+// flushing immediately. Servers use it to marshal a fanout message once.
+func (c *Conn) WriteFrame(frame []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// writeFrameNoFlush appends a frame to the write buffer without flushing.
+// Used by Pump to coalesce bursts.
+func (c *Conn) writeFrameNoFlush(frame []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.bw.Write(frame)
+	return err
+}
+
+func (c *Conn) flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.bw.Flush()
+}
+
+// SetReadDeadline sets the deadline for future reads.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// RemoteAddr returns the remote network address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// LocalAddr returns the local network address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// Close closes the underlying connection. Any blocked read or write is
+// unblocked with an error.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// EncodeFrame appends the framed encoding of msg (length prefix plus body)
+// to buf and returns the result.
+func EncodeFrame(buf []byte, msg wire.Message) []byte {
+	return appendFrame(buf, msg)
+}
+
+func appendFrame(buf []byte, msg wire.Message) []byte {
+	// Reserve the length prefix, marshal, then patch the prefix.
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = wire.Marshal(buf, msg)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+)
+
+// Listener accepts framed connections.
+type Listener struct {
+	nl net.Listener
+}
+
+// Listen opens a TCP listener on addr ("host:port"; use ":0" or
+// "127.0.0.1:0" for an ephemeral port).
+func Listen(addr string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl}, nil
+}
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (*Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return NewConn(nc), nil
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() net.Addr { return l.nl.Addr() }
+
+// Close stops the listener. Blocked Accept calls return an error for which
+// IsClosed reports true.
+func (l *Listener) Close() error { return l.nl.Close() }
+
+// IsClosed reports whether err indicates a closed listener or connection,
+// the expected error during shutdown.
+func IsClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"sync"
+
+	"corona/internal/wire"
+)
+
+// DefaultPumpDepth is the default per-receiver queue depth. At 1000-byte
+// messages this bounds a slow receiver's backlog to about 1 MiB before the
+// server gives up on it.
+const DefaultPumpDepth = 1024
+
+// Pump asynchronously writes frames to a connection through a bounded
+// queue. A server creates one Pump per client so that fanning a multicast
+// out to N members costs one non-blocking enqueue per member, and a stalled
+// member fails fast (ErrPumpOverflow) instead of stalling the group.
+//
+// Frames enqueued by a single goroutine are written in enqueue order, which
+// preserves the total order the sequencer established.
+type Pump struct {
+	conn *Conn
+	ch   chan []byte
+	// hi is the priority lane (see SendPriority): the writer drains it
+	// before the normal lane, so traffic of high-priority groups
+	// overtakes queued bulk traffic on the same connection. This is the
+	// scheduling half of the paper's QoS-adaptive server (§5.3).
+	hi chan []byte
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+
+	done chan struct{}
+}
+
+// NewPump starts a pump over conn with the given queue depth (0 means
+// DefaultPumpDepth).
+func NewPump(conn *Conn, depth int) *Pump {
+	if depth <= 0 {
+		depth = DefaultPumpDepth
+	}
+	hiDepth := depth / 4
+	if hiDepth < 16 {
+		hiDepth = 16
+	}
+	p := &Pump{
+		conn: conn,
+		ch:   make(chan []byte, depth),
+		hi:   make(chan []byte, hiDepth),
+		done: make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// Send enqueues a pre-encoded frame on the normal lane. It never blocks:
+// if the queue is full it returns ErrPumpOverflow, and the caller should
+// treat the receiver as failed. The frame must not be modified after Send
+// returns nil.
+func (p *Pump) Send(frame []byte) error {
+	return p.enqueue(frame, false)
+}
+
+// SendPriority enqueues a frame on the requested lane. High-priority
+// frames are written before any queued normal-lane frames. Ordering within
+// a lane is preserved; cross-lane ordering intentionally is not.
+func (p *Pump) SendPriority(frame []byte, high bool) error {
+	return p.enqueue(frame, high)
+}
+
+func (p *Pump) enqueue(frame []byte, high bool) error {
+	// The enqueue happens under the mutex so it cannot race a concurrent
+	// close of the channel; the select never blocks, so the critical
+	// section stays short.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		if p.err != nil {
+			return p.err
+		}
+		return ErrPumpClosed
+	}
+	ch := p.ch
+	if high {
+		ch = p.hi
+	}
+	select {
+	case ch <- frame:
+		return nil
+	default:
+		return ErrPumpOverflow
+	}
+}
+
+// SendMessage marshals msg into a fresh frame and enqueues it. Use Send
+// with a shared frame when writing the same message to many pumps.
+func (p *Pump) SendMessage(msg wire.Message) error {
+	return p.Send(EncodeFrame(nil, msg))
+}
+
+// Err returns the write error that stopped the pump, if any.
+func (p *Pump) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Close stops the pump after draining frames already enqueued, and waits
+// for the writer goroutine to exit. It does not close the connection.
+func (p *Pump) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.ch)
+		close(p.hi)
+	}
+	p.mu.Unlock()
+	<-p.done
+}
+
+func (p *Pump) run() {
+	defer close(p.done)
+	hi, normal := p.hi, p.ch
+	for hi != nil || normal != nil {
+		// The priority lane is drained first whenever it has frames.
+		if hi != nil {
+			select {
+			case frame, ok := <-hi:
+				if !ok {
+					hi = nil
+					continue
+				}
+				if !p.writeOne(frame) {
+					return
+				}
+				continue
+			default:
+			}
+		}
+		select {
+		case frame, ok := <-hi: // blocks forever once hi is nil
+			if !ok {
+				hi = nil
+				continue
+			}
+			if !p.writeOne(frame) {
+				return
+			}
+		case frame, ok := <-normal:
+			if !ok {
+				normal = nil
+				continue
+			}
+			if !p.writeOne(frame) {
+				return
+			}
+		}
+	}
+	_ = p.conn.flush()
+}
+
+// writeOne writes a frame, flushing when both lanes have momentarily gone
+// empty so bursts share one syscall. It reports false after a write error.
+func (p *Pump) writeOne(frame []byte) bool {
+	if err := p.conn.writeFrameNoFlush(frame); err != nil {
+		p.fail(err)
+		return false
+	}
+	if len(p.ch) == 0 && len(p.hi) == 0 {
+		if err := p.conn.flush(); err != nil {
+			p.fail(err)
+			return false
+		}
+	}
+	return true
+}
+
+// fail records err, marks the pump closed, and drains remaining frames so
+// senders that raced Close/failure do not leak.
+func (p *Pump) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	alreadyClosed := p.closed
+	p.closed = true
+	if !alreadyClosed {
+		close(p.ch)
+		close(p.hi)
+	}
+	p.mu.Unlock()
+	for range p.ch { // discard
+	}
+	for range p.hi {
+	}
+}

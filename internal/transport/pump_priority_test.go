@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"corona/internal/wire"
+)
+
+// TestPumpPriorityOvertakes verifies the QoS lane: a high-priority frame
+// enqueued behind a backlog of normal frames is written before the
+// backlog's tail.
+func TestPumpPriorityOvertakes(t *testing.T) {
+	client, server := tcpPair(t)
+	pump := NewPump(client, 256)
+	defer pump.Close()
+
+	// Build a backlog while the receiver is not reading. Payloads are
+	// large enough that the kernel buffers cannot swallow everything.
+	const normals = 64
+	payload := make([]byte, 32<<10)
+	for i := 0; i < normals; i++ {
+		frame := EncodeFrame(nil, &wire.Deliver{
+			Group: "bulk",
+			Event: wire.Event{Seq: uint64(i + 1), Kind: wire.EventUpdate, ObjectID: "o", Data: payload},
+		})
+		for {
+			err := pump.Send(frame)
+			if err == nil {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	hi := EncodeFrame(nil, &wire.Ping{Nonce: 777})
+	if err := pump.SendPriority(hi, true); err != nil {
+		t.Fatal(err)
+	}
+
+	hiPos, lastNormalPos := -1, -1
+	for i := 0; i < normals+1; i++ {
+		msg, err := server.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch msg.(type) {
+		case *wire.Ping:
+			hiPos = i
+		case *wire.Deliver:
+			lastNormalPos = i
+		}
+	}
+	if hiPos == -1 {
+		t.Fatal("priority frame never arrived")
+	}
+	if hiPos >= lastNormalPos {
+		t.Fatalf("priority frame arrived at %d, after the backlog tail %d", hiPos, lastNormalPos)
+	}
+	t.Logf("priority frame overtook: position %d of %d", hiPos, normals+1)
+}
+
+// TestPumpPriorityLaneOrdering verifies FIFO within the priority lane.
+func TestPumpPriorityLaneOrdering(t *testing.T) {
+	client, server := tcpPair(t)
+	pump := NewPump(client, 64)
+	defer pump.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := pump.SendPriority(EncodeFrame(nil, &wire.Ping{Nonce: uint64(i)}), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		msg, err := server.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := msg.(*wire.Ping); p.Nonce != uint64(i) {
+			t.Fatalf("priority lane out of order: got %d, want %d", p.Nonce, i)
+		}
+	}
+}
+
+// TestPumpCloseDrainsBothLanes verifies Close flushes both lanes.
+func TestPumpCloseDrainsBothLanes(t *testing.T) {
+	client, server := tcpPair(t)
+	pump := NewPump(client, 64)
+	if err := pump.Send(EncodeFrame(nil, &wire.Ping{Nonce: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := pump.SendPriority(EncodeFrame(nil, &wire.Ping{Nonce: 2}), true); err != nil {
+		t.Fatal(err)
+	}
+	pump.Close()
+	seen := map[uint64]bool{}
+	for i := 0; i < 2; i++ {
+		msg, err := server.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[msg.(*wire.Ping).Nonce] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("frames lost at close: %v", seen)
+	}
+}

@@ -1,0 +1,503 @@
+// Package wal implements the stable-storage message log behind Corona's
+// stateful multicast service (paper §3.2: "all the multicast messages are
+// logged both in memory and on stable storage, thus ensuring persistence of
+// shared state and fault tolerance").
+//
+// The log is a sequence of records, each assigned a monotonically
+// increasing log sequence number (LSN), stored across size-bounded segment
+// files. Records carry a CRC-32C checksum; recovery scans segments and
+// truncates a torn tail (the paper accepts losing the latest unflushed
+// updates on a crash — §6). Log reduction drops whole segments whose
+// records precede a checkpoint (TruncateBefore).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when appends reach the disk.
+type SyncPolicy int
+
+// Sync policies.
+const (
+	// SyncNever relies on the OS to write back; fastest, loses the most
+	// on a crash. This models the paper's "main-memory logging" remark.
+	SyncNever SyncPolicy = iota
+	// SyncInterval fsyncs on a timer (see Options.SyncEvery).
+	SyncInterval
+	// SyncAlways fsyncs every append; slowest, loses nothing.
+	SyncAlways
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Defaults.
+const (
+	// DefaultSegmentSize is the roll-over threshold for segment files.
+	DefaultSegmentSize = 16 << 20
+	// DefaultSyncEvery is the default interval for SyncInterval.
+	DefaultSyncEvery = 100 * time.Millisecond
+	// MaxRecordSize bounds one record's payload.
+	MaxRecordSize = 64 << 20
+
+	segSuffix = ".seg"
+	recHdr    = 8 // crc32 + length
+)
+
+// Log errors.
+var (
+	ErrClosed         = errors.New("wal: log closed")
+	ErrRecordTooLarge = errors.New("wal: record exceeds maximum size")
+	errBadRecord      = errors.New("wal: corrupt record")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding segment files. It is created if
+	// missing.
+	Dir string
+	// SegmentSize is the roll-over threshold (default DefaultSegmentSize).
+	SegmentSize int64
+	// Sync selects the durability policy (default SyncNever).
+	Sync SyncPolicy
+	// SyncEvery is the flush period under SyncInterval.
+	SyncEvery time.Duration
+}
+
+type segment struct {
+	path  string
+	first uint64 // LSN of first record
+	count uint64 // number of records
+}
+
+// Log is an append-only segmented record log. All methods are safe for
+// concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	segments []segment // read-only older segments, sorted by first LSN
+	active   segment
+	f        *os.File
+	w        *bufio.Writer
+	size     int64
+	nextLSN  uint64
+	closed   bool
+	needSync bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if necessary) the log in opts.Dir and recovers its
+// tail: the last segment is scanned and truncated at the first torn or
+// corrupt record.
+func Open(opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	if err := l.load(); err != nil {
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		go l.syncLoop()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+func (l *Log) load() error {
+	entries, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+		if err != nil {
+			continue // not ours
+		}
+		segs = append(segs, segment{path: filepath.Join(l.opts.Dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	// Count records in every segment; repair the last one.
+	for i := range segs {
+		last := i == len(segs)-1
+		count, validLen, err := scanSegment(segs[i].path)
+		if err != nil && !last {
+			return fmt.Errorf("wal: segment %s: %w", segs[i].path, err)
+		}
+		if last && err != nil {
+			// Torn tail: truncate to the last valid record.
+			if terr := os.Truncate(segs[i].path, validLen); terr != nil {
+				return fmt.Errorf("wal: truncate torn tail: %w", terr)
+			}
+		}
+		segs[i].count = count
+	}
+
+	if len(segs) == 0 {
+		l.nextLSN = 0
+		return l.roll()
+	}
+	lastSeg := segs[len(segs)-1]
+	l.segments = segs[:len(segs)-1]
+	l.active = lastSeg
+	l.nextLSN = lastSeg.first + lastSeg.count
+
+	f, err := os.OpenFile(lastSeg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.size = st.Size()
+	l.w = bufio.NewWriterSize(f, 256<<10)
+	return nil
+}
+
+// scanSegment counts intact records and returns the byte length of the
+// valid prefix. A non-nil error indicates the file ends in a torn or
+// corrupt record at offset validLen.
+func scanSegment(path string) (count uint64, validLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 256<<10)
+	var (
+		hdr [recHdr]byte
+		buf []byte
+		off int64
+	)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return count, off, nil
+			}
+			return count, off, errBadRecord
+		}
+		crc := binary.BigEndian.Uint32(hdr[0:4])
+		n := binary.BigEndian.Uint32(hdr[4:8])
+		if n > MaxRecordSize {
+			return count, off, errBadRecord
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return count, off, errBadRecord
+		}
+		if crc32.Checksum(buf, crcTable) != crc {
+			return count, off, errBadRecord
+		}
+		count++
+		off += recHdr + int64(n)
+	}
+}
+
+func segPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", first, segSuffix))
+}
+
+// roll closes the active segment and opens a fresh one starting at nextLSN.
+// Caller holds l.mu (or is initializing).
+func (l *Log) roll() error {
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.segments = append(l.segments, l.active)
+	}
+	path := segPath(l.opts.Dir, l.nextLSN)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.active = segment{path: path, first: l.nextLSN}
+	l.f = f
+	l.size = 0
+	l.w = bufio.NewWriterSize(f, 256<<10)
+	return nil
+}
+
+// Append writes one record and returns its LSN. Durability depends on the
+// sync policy: with SyncAlways the record is on disk when Append returns.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordSize {
+		return 0, ErrRecordTooLarge
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	var hdr [recHdr]byte
+	binary.BigEndian.PutUint32(hdr[0:4], crc32.Checksum(payload, crcTable))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, err
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.active.count++
+	l.size += recHdr + int64(len(payload))
+	l.needSync = true
+
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.size >= l.opts.SegmentSize {
+		if err := l.roll(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync flushes buffered records and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.needSync {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.needSync = false
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// NextLSN returns the LSN the next Append will produce.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// FirstLSN returns the LSN of the oldest retained record (equal to
+// NextLSN when the log is empty).
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segments) > 0 {
+		return l.segments[0].first
+	}
+	return l.active.first
+}
+
+// Size returns the total on-disk byte size of all segments.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := l.size
+	for _, s := range l.segments {
+		if st, err := os.Stat(s.path); err == nil {
+			total += st.Size()
+		}
+	}
+	return total
+}
+
+// Replay calls fn for every record with LSN >= from, in order. The payload
+// slice is reused between calls; fn must copy it to retain it. Replay sees
+// only records appended before it starts.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	// Flush so the active file content is visible to the reader below.
+	if err := l.w.Flush(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	segs := make([]segment, 0, len(l.segments)+1)
+	segs = append(segs, l.segments...)
+	segs = append(segs, l.active)
+	limit := l.nextLSN
+	l.mu.Unlock()
+
+	var buf []byte
+	for _, s := range segs {
+		if s.first+s.count <= from {
+			continue
+		}
+		err := replaySegment(s, from, limit, &buf, fn)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(s segment, from, limit uint64, buf *[]byte, fn func(uint64, []byte) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 256<<10)
+	var hdr [recHdr]byte
+	for lsn := s.first; lsn < s.first+s.count && lsn < limit; lsn++ {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return fmt.Errorf("wal: replay %s: %w", s.path, err)
+		}
+		crc := binary.BigEndian.Uint32(hdr[0:4])
+		n := binary.BigEndian.Uint32(hdr[4:8])
+		if n > MaxRecordSize {
+			return fmt.Errorf("wal: replay %s: %w", s.path, errBadRecord)
+		}
+		if cap(*buf) < int(n) {
+			*buf = make([]byte, n)
+		}
+		b := (*buf)[:n]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return fmt.Errorf("wal: replay %s: %w", s.path, err)
+		}
+		if crc32.Checksum(b, crcTable) != crc {
+			return fmt.Errorf("wal: replay %s lsn %d: %w", s.path, lsn, errBadRecord)
+		}
+		if lsn < from {
+			continue
+		}
+		if err := fn(lsn, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateBefore removes whole segments all of whose records have
+// LSN < lsn. It is the disk half of the paper's state-log reduction: after
+// a checkpoint record at lsn is durable, the prefix is garbage.
+func (l *Log) TruncateBefore(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	kept := l.segments[:0]
+	for _, s := range l.segments {
+		if s.first+s.count <= lsn {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segments = kept
+	return nil
+}
+
+// SegmentCount returns the number of on-disk segments (including the
+// active one).
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segments) + 1
+}
+
+// Close flushes, fsyncs, and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	flushErr := l.w.Flush()
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.mu.Unlock()
+
+	close(l.stop)
+	<-l.done
+
+	if flushErr != nil {
+		return flushErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

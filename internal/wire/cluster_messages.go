@@ -1,0 +1,696 @@
+package wire
+
+import "fmt"
+
+// This file defines the server↔server messages of the replicated service
+// (paper §4): a star topology in which one server acts as coordinator and
+// sequencer and the other servers are its clients.
+
+// GroupOpKind enumerates group-registry operations propagated between
+// servers.
+type GroupOpKind uint8
+
+// Group operations.
+const (
+	GroupOpCreate GroupOpKind = iota + 1
+	GroupOpDelete
+)
+
+// SHello registers a server with the coordinator.
+type SHello struct {
+	RequestID uint64
+	// ServerID is the registering server's stable identity.
+	ServerID uint64
+	// Addr is the address on which the server accepts peer connections.
+	Addr string
+	// Epoch is the highest coordinator epoch the server has seen, so a
+	// rejoining server after a partition can be detected.
+	Epoch uint64
+}
+
+// Kind implements Message.
+func (*SHello) Kind() Kind { return KindSHello }
+
+// Encode implements Message.
+func (m *SHello) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(m.ServerID)
+	e.PutString(m.Addr)
+	e.PutUvarint(m.Epoch)
+}
+
+// Decode implements Message.
+func (m *SHello) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.ServerID = d.Uvarint()
+	m.Addr = d.String()
+	m.Epoch = d.Uvarint()
+	return d.Err()
+}
+
+// SHelloAck completes server registration and distributes the current
+// server list.
+type SHelloAck struct {
+	RequestID     uint64
+	CoordinatorID uint64
+	Epoch         uint64
+	// BootOrder is the order assigned to the registering server.
+	BootOrder uint64
+	Servers   []ServerInfo
+}
+
+// Kind implements Message.
+func (*SHelloAck) Kind() Kind { return KindSHelloAck }
+
+// Encode implements Message.
+func (m *SHelloAck) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(m.CoordinatorID)
+	e.PutUvarint(m.Epoch)
+	e.PutUvarint(m.BootOrder)
+	encodeServers(e, m.Servers)
+}
+
+// Decode implements Message.
+func (m *SHelloAck) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.CoordinatorID = d.Uvarint()
+	m.Epoch = d.Uvarint()
+	m.BootOrder = d.Uvarint()
+	m.Servers = decodeServers(d)
+	return d.Err()
+}
+
+// SForward carries a client multicast from a member server to the
+// coordinator for sequencing. The Event's Seq and Time are unset; the
+// coordinator assigns them.
+type SForward struct {
+	// Origin is the forwarding server.
+	Origin uint64
+	Group  string
+	Event  Event
+	// SenderInclusive mirrors the client's flag; when false the origin
+	// server suppresses delivery back to Event.Sender.
+	SenderInclusive bool
+	// RequestID correlates the origin server's pending client ack.
+	RequestID uint64
+}
+
+// Kind implements Message.
+func (*SForward) Kind() Kind { return KindSForward }
+
+// Encode implements Message.
+func (m *SForward) Encode(e *Encoder) {
+	e.PutUvarint(m.Origin)
+	e.PutString(m.Group)
+	m.Event.encode(e)
+	e.PutBool(m.SenderInclusive)
+	e.PutUvarint(m.RequestID)
+}
+
+// Decode implements Message.
+func (m *SForward) Decode(d *Decoder) error {
+	m.Origin = d.Uvarint()
+	m.Group = d.String()
+	m.Event = decodeEvent(d)
+	m.SenderInclusive = d.Bool()
+	m.RequestID = d.Uvarint()
+	return d.Err()
+}
+
+// SDistribute carries a sequenced multicast from the coordinator to every
+// server with members (or a replica) of the group.
+type SDistribute struct {
+	Group string
+	Event Event
+	// SenderInclusive tells the origin server whether to deliver back to
+	// Event.Sender.
+	SenderInclusive bool
+	// Origin is the server that forwarded the message, so it can complete
+	// the client's pending ack identified by RequestID.
+	Origin    uint64
+	RequestID uint64
+}
+
+// Kind implements Message.
+func (*SDistribute) Kind() Kind { return KindSDistribute }
+
+// Encode implements Message.
+func (m *SDistribute) Encode(e *Encoder) {
+	e.PutString(m.Group)
+	m.Event.encode(e)
+	e.PutBool(m.SenderInclusive)
+	e.PutUvarint(m.Origin)
+	e.PutUvarint(m.RequestID)
+}
+
+// Decode implements Message.
+func (m *SDistribute) Decode(d *Decoder) error {
+	m.Group = d.String()
+	m.Event = decodeEvent(d)
+	m.SenderInclusive = d.Bool()
+	m.Origin = d.Uvarint()
+	m.RequestID = d.Uvarint()
+	return d.Err()
+}
+
+// SInterest tells the coordinator whether a server hosts members of a group
+// (or holds a backup replica), so broadcasts are routed only to interested
+// servers (paper §4: "Only the servers who have members in that particular
+// group will receive the broadcast message").
+type SInterest struct {
+	ServerID   uint64
+	Group      string
+	Interested bool
+	// Members is the server's local member count for the group.
+	Members uint64
+	// Backup marks interest held purely as an elected hot-standby replica.
+	Backup bool
+}
+
+// Kind implements Message.
+func (*SInterest) Kind() Kind { return KindSInterest }
+
+// Encode implements Message.
+func (m *SInterest) Encode(e *Encoder) {
+	e.PutUvarint(m.ServerID)
+	e.PutString(m.Group)
+	e.PutBool(m.Interested)
+	e.PutUvarint(m.Members)
+	e.PutBool(m.Backup)
+}
+
+// Decode implements Message.
+func (m *SInterest) Decode(d *Decoder) error {
+	m.ServerID = d.Uvarint()
+	m.Group = d.String()
+	m.Interested = d.Bool()
+	m.Members = d.Uvarint()
+	m.Backup = d.Bool()
+	return d.Err()
+}
+
+// SMemberUpdate propagates a membership change to the coordinator, which
+// maintains global group membership and fans notifications out to
+// subscribed members on other servers.
+type SMemberUpdate struct {
+	ServerID uint64
+	Group    string
+	Change   MembershipChange
+	Member   MemberInfo
+}
+
+// Kind implements Message.
+func (*SMemberUpdate) Kind() Kind { return KindSMemberUpdate }
+
+// Encode implements Message.
+func (m *SMemberUpdate) Encode(e *Encoder) {
+	e.PutUvarint(m.ServerID)
+	e.PutString(m.Group)
+	e.PutByte(byte(m.Change))
+	m.Member.encode(e)
+}
+
+// Decode implements Message.
+func (m *SMemberUpdate) Decode(d *Decoder) error {
+	m.ServerID = d.Uvarint()
+	m.Group = d.String()
+	m.Change = MembershipChange(d.Byte())
+	m.Member = decodeMemberInfo(d)
+	return d.Err()
+}
+
+// SHeartbeat is exchanged between the coordinator and each server to detect
+// failures (paper §4.2).
+type SHeartbeat struct {
+	ServerID uint64
+	Epoch    uint64
+	// Time is the sender's clock, Unix nanoseconds, for diagnostics.
+	Time int64
+}
+
+// Kind implements Message.
+func (*SHeartbeat) Kind() Kind { return KindSHeartbeat }
+
+// Encode implements Message.
+func (m *SHeartbeat) Encode(e *Encoder) {
+	e.PutUvarint(m.ServerID)
+	e.PutUvarint(m.Epoch)
+	e.PutVarint(m.Time)
+}
+
+// Decode implements Message.
+func (m *SHeartbeat) Decode(d *Decoder) error {
+	m.ServerID = d.Uvarint()
+	m.Epoch = d.Uvarint()
+	m.Time = d.Varint()
+	return d.Err()
+}
+
+// SServerList distributes the coordinator's view of the server set, sorted
+// by boot order. Servers keep it to establish connections and to run
+// coordinator succession.
+type SServerList struct {
+	CoordinatorID uint64
+	Epoch         uint64
+	Servers       []ServerInfo
+}
+
+// Kind implements Message.
+func (*SServerList) Kind() Kind { return KindSServerList }
+
+// Encode implements Message.
+func (m *SServerList) Encode(e *Encoder) {
+	e.PutUvarint(m.CoordinatorID)
+	e.PutUvarint(m.Epoch)
+	encodeServers(e, m.Servers)
+}
+
+// Decode implements Message.
+func (m *SServerList) Decode(d *Decoder) error {
+	m.CoordinatorID = d.Uvarint()
+	m.Epoch = d.Uvarint()
+	m.Servers = decodeServers(d)
+	return d.Err()
+}
+
+// SElect announces a candidate's claim to the coordinator role after the
+// previous coordinator is suspected down. The claim succeeds when a
+// majority of the remaining servers ack (paper §4.2).
+type SElect struct {
+	CandidateID uint64
+	// Epoch is the new epoch the candidate will rule if elected; it must
+	// exceed every epoch the receiver has seen.
+	Epoch uint64
+	Addr  string
+}
+
+// Kind implements Message.
+func (*SElect) Kind() Kind { return KindSElect }
+
+// Encode implements Message.
+func (m *SElect) Encode(e *Encoder) {
+	e.PutUvarint(m.CandidateID)
+	e.PutUvarint(m.Epoch)
+	e.PutString(m.Addr)
+}
+
+// Decode implements Message.
+func (m *SElect) Decode(d *Decoder) error {
+	m.CandidateID = d.Uvarint()
+	m.Epoch = d.Uvarint()
+	m.Addr = d.String()
+	return d.Err()
+}
+
+// SElectReply acks or nacks an SElect. A server nacks when it can still
+// reach the incumbent coordinator (the candidate "wrongfully assumed that
+// the coordinator is down") or has seen a higher epoch. Nacks carry the
+// voter's view of the ruling coordinator so a failed candidate — or a
+// server that slept through an election — can find the new regime.
+type SElectReply struct {
+	VoterID     uint64
+	CandidateID uint64
+	// Epoch is the voter's highest known epoch on a nack, echoing the
+	// candidate's epoch on an ack.
+	Epoch uint64
+	Ack   bool
+	// CoordAddr is the voter's known coordinator peer address (nacks).
+	CoordAddr string
+}
+
+// Kind implements Message.
+func (*SElectReply) Kind() Kind { return KindSElectReply }
+
+// Encode implements Message.
+func (m *SElectReply) Encode(e *Encoder) {
+	e.PutUvarint(m.VoterID)
+	e.PutUvarint(m.CandidateID)
+	e.PutUvarint(m.Epoch)
+	e.PutBool(m.Ack)
+	e.PutString(m.CoordAddr)
+}
+
+// Decode implements Message.
+func (m *SElectReply) Decode(d *Decoder) error {
+	m.VoterID = d.Uvarint()
+	m.CandidateID = d.Uvarint()
+	m.Epoch = d.Uvarint()
+	m.Ack = d.Bool()
+	m.CoordAddr = d.String()
+	return d.Err()
+}
+
+// SStateRequest asks a peer for a group's state so the requester can become
+// a replica (a server gaining its first local member, or an elected backup).
+type SStateRequest struct {
+	RequestID uint64
+	Group     string
+	// FromSeq requests only events after FromSeq when the requester
+	// already holds a prefix; 0 requests a snapshot.
+	FromSeq uint64
+}
+
+// Kind implements Message.
+func (*SStateRequest) Kind() Kind { return KindSStateRequest }
+
+// Encode implements Message.
+func (m *SStateRequest) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutString(m.Group)
+	e.PutUvarint(m.FromSeq)
+}
+
+// Decode implements Message.
+func (m *SStateRequest) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Group = d.String()
+	m.FromSeq = d.Uvarint()
+	return d.Err()
+}
+
+// SStateResponse answers SStateRequest with a snapshot and/or event suffix.
+// The coordinator, which relays the response, annotates it with the group's
+// registration and global membership so the requester can serve joins
+// immediately.
+type SStateResponse struct {
+	RequestID  uint64
+	Group      string
+	OK         bool
+	Persistent bool
+	BaseSeq    uint64
+	NextSeq    uint64
+	// Digest is the source replica's history digest at NextSeq-1.
+	Digest  uint64
+	Objects []Object
+	Events  []Event
+	// Members is the coordinator's global membership view of the group.
+	Members []MemberInfo
+}
+
+// Kind implements Message.
+func (*SStateResponse) Kind() Kind { return KindSStateResponse }
+
+// Encode implements Message.
+func (m *SStateResponse) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutString(m.Group)
+	e.PutBool(m.OK)
+	e.PutBool(m.Persistent)
+	e.PutUvarint(m.BaseSeq)
+	e.PutUvarint(m.NextSeq)
+	e.PutUint64(m.Digest)
+	encodeObjects(e, m.Objects)
+	encodeEvents(e, m.Events)
+	encodeMembers(e, m.Members)
+}
+
+// Decode implements Message.
+func (m *SStateResponse) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Group = d.String()
+	m.OK = d.Bool()
+	m.Persistent = d.Bool()
+	m.BaseSeq = d.Uvarint()
+	m.NextSeq = d.Uvarint()
+	m.Digest = d.Uint64()
+	m.Objects = decodeObjects(d)
+	m.Events = decodeEvents(d)
+	m.Members = decodeMembers(d)
+	return d.Err()
+}
+
+// SGroupOp propagates a group create/delete through the coordinator to all
+// servers, keeping every server's group registry consistent.
+type SGroupOp struct {
+	RequestID  uint64
+	Origin     uint64
+	Op         GroupOpKind
+	Group      string
+	Persistent bool
+	Initial    []Object
+}
+
+// Kind implements Message.
+func (*SGroupOp) Kind() Kind { return KindSGroupOp }
+
+// Encode implements Message.
+func (m *SGroupOp) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(m.Origin)
+	e.PutByte(byte(m.Op))
+	e.PutString(m.Group)
+	e.PutBool(m.Persistent)
+	encodeObjects(e, m.Initial)
+}
+
+// Decode implements Message.
+func (m *SGroupOp) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Origin = d.Uvarint()
+	m.Op = GroupOpKind(d.Byte())
+	m.Group = d.String()
+	m.Persistent = d.Bool()
+	m.Initial = decodeObjects(d)
+	return d.Err()
+}
+
+// SGroupOpAck confirms (or rejects) an SGroupOp back to the origin server.
+type SGroupOpAck struct {
+	RequestID uint64
+	OK        bool
+	Code      ErrCode
+	Text      string
+}
+
+// Kind implements Message.
+func (*SGroupOpAck) Kind() Kind { return KindSGroupOpAck }
+
+// Encode implements Message.
+func (m *SGroupOpAck) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutBool(m.OK)
+	e.PutUvarint(uint64(m.Code))
+	e.PutString(m.Text)
+}
+
+// Decode implements Message.
+func (m *SGroupOpAck) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.OK = d.Bool()
+	m.Code = ErrCode(d.Uvarint())
+	m.Text = d.String()
+	return d.Err()
+}
+
+// SSeqQuery is sent by a newly elected coordinator to recover per-group
+// sequence counters: each server reports the highest sequence number it has
+// applied for each group it replicates.
+type SSeqQuery struct {
+	RequestID uint64
+	Epoch     uint64
+}
+
+// Kind implements Message.
+func (*SSeqQuery) Kind() Kind { return KindSSeqQuery }
+
+// Encode implements Message.
+func (m *SSeqQuery) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(m.Epoch)
+}
+
+// Decode implements Message.
+func (m *SSeqQuery) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Epoch = d.Uvarint()
+	return d.Err()
+}
+
+// GroupSeq is one group's high-water mark in an SSeqReport.
+type GroupSeq struct {
+	Group string
+	// NextSeq is the next sequence number the group expects (highest
+	// applied + 1).
+	NextSeq uint64
+	// Digest is the replica's history digest at NextSeq-1, used to
+	// detect post-partition divergence.
+	Digest uint64
+	// Persistent mirrors the group's persistence flag so a recovering
+	// coordinator can rebuild its registry.
+	Persistent bool
+	// Members is the reporting server's local member count.
+	Members uint64
+}
+
+func (g GroupSeq) encode(e *Encoder) {
+	e.PutString(g.Group)
+	e.PutUvarint(g.NextSeq)
+	e.PutUint64(g.Digest)
+	e.PutBool(g.Persistent)
+	e.PutUvarint(g.Members)
+}
+
+func decodeGroupSeq(d *Decoder) GroupSeq {
+	return GroupSeq{
+		Group:      d.String(),
+		NextSeq:    d.Uvarint(),
+		Digest:     d.Uint64(),
+		Persistent: d.Bool(),
+		Members:    d.Uvarint(),
+	}
+}
+
+// Resolution selects how a post-partition divergence is settled (paper
+// §4.2: "The application is given the choice of either rolling back to the
+// consistent state, selecting one of the available updated states or
+// evolving as two different groups").
+type Resolution uint8
+
+// Divergence resolutions.
+const (
+	// ResolutionRollback discards the divergent replica's history; the
+	// server re-fetches the authoritative state.
+	ResolutionRollback Resolution = iota + 1
+	// ResolutionAdopt makes the divergent replica's version
+	// authoritative; the other replicas roll back to it.
+	ResolutionAdopt
+	// ResolutionFork preserves the divergent version as a new group
+	// (ForkName) and rolls the original back to the authoritative state.
+	ResolutionFork
+)
+
+func (r Resolution) String() string {
+	switch r {
+	case ResolutionRollback:
+		return "rollback"
+	case ResolutionAdopt:
+		return "adopt"
+	case ResolutionFork:
+		return "fork"
+	default:
+		return fmt.Sprintf("Resolution(%d)", uint8(r))
+	}
+}
+
+// SDivergence instructs a server how to settle a diverged group replica.
+type SDivergence struct {
+	Group      string
+	Resolution Resolution
+	// ForkName is the new group name under ResolutionFork.
+	ForkName string
+}
+
+// Kind implements Message.
+func (*SDivergence) Kind() Kind { return KindSDivergence }
+
+// Encode implements Message.
+func (m *SDivergence) Encode(e *Encoder) {
+	e.PutString(m.Group)
+	e.PutByte(byte(m.Resolution))
+	e.PutString(m.ForkName)
+}
+
+// Decode implements Message.
+func (m *SDivergence) Decode(d *Decoder) error {
+	m.Group = d.String()
+	m.Resolution = Resolution(d.Byte())
+	m.ForkName = d.String()
+	return d.Err()
+}
+
+// SSeqReport answers SSeqQuery.
+type SSeqReport struct {
+	RequestID uint64
+	ServerID  uint64
+	Groups    []GroupSeq
+}
+
+// Kind implements Message.
+func (*SSeqReport) Kind() Kind { return KindSSeqReport }
+
+// Encode implements Message.
+func (m *SSeqReport) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(m.ServerID)
+	e.PutUvarint(uint64(len(m.Groups)))
+	for i := range m.Groups {
+		m.Groups[i].encode(e)
+	}
+}
+
+// Decode implements Message.
+func (m *SSeqReport) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.ServerID = d.Uvarint()
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n > uint64(d.Remaining()) {
+		return ErrShortBuffer
+	}
+	if n > 0 {
+		m.Groups = make([]GroupSeq, 0, n)
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			m.Groups = append(m.Groups, decodeGroupSeq(d))
+		}
+	}
+	return d.Err()
+}
+
+// SGroupsQuery asks the coordinator for the names of every group in the
+// replicated service, so any member server can answer a client's
+// ListGroups with the global view.
+type SGroupsQuery struct {
+	RequestID uint64
+}
+
+// Kind implements Message.
+func (*SGroupsQuery) Kind() Kind { return KindSGroupsQuery }
+
+// Encode implements Message.
+func (m *SGroupsQuery) Encode(e *Encoder) { e.PutUvarint(m.RequestID) }
+
+// Decode implements Message.
+func (m *SGroupsQuery) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	return d.Err()
+}
+
+// SGroupsReport answers SGroupsQuery with the sorted group names.
+type SGroupsReport struct {
+	RequestID uint64
+	Groups    []string
+}
+
+// Kind implements Message.
+func (*SGroupsReport) Kind() Kind { return KindSGroupsReport }
+
+// Encode implements Message.
+func (m *SGroupsReport) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		e.PutString(g)
+	}
+}
+
+// Decode implements Message.
+func (m *SGroupsReport) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n > uint64(d.Remaining()) {
+		return ErrShortBuffer
+	}
+	if n > 0 {
+		m.Groups = make([]string, 0, n)
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			m.Groups = append(m.Groups, d.String())
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,362 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip marshals msg, unmarshals the bytes, and requires deep equality.
+func roundTrip(t *testing.T, msg Message) {
+	t.Helper()
+	data := Marshal(nil, msg)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal(%s): %v", msg.Kind(), err)
+	}
+	if !reflect.DeepEqual(msg, got) {
+		t.Fatalf("%s round trip mismatch:\n want %#v\n got  %#v", msg.Kind(), msg, got)
+	}
+}
+
+func sampleEvent(seq uint64) Event {
+	return Event{
+		Seq:      seq,
+		Kind:     EventUpdate,
+		ObjectID: "canvas",
+		Data:     []byte{1, 2, 3, 4},
+		Sender:   42,
+		Time:     1234567890,
+	}
+}
+
+func TestRoundTripClientMessages(t *testing.T) {
+	msgs := []Message{
+		&Hello{RequestID: 1, Proto: ProtocolVersion, Name: "alice"},
+		&HelloAck{RequestID: 1, ClientID: 7, ServerID: 3},
+		&CreateGroup{RequestID: 2, Group: "g", Persistent: true, Initial: []Object{{ID: "o1", Data: []byte("x")}, {ID: "o2"}}},
+		&CreateGroupAck{RequestID: 2},
+		&DeleteGroup{RequestID: 3, Group: "g"},
+		&DeleteGroupAck{RequestID: 3},
+		&Join{
+			RequestID: 4, Group: "g",
+			Policy: TransferPolicy{Mode: TransferObjects, Objects: []string{"a", "b"}},
+			Role:   RoleObserver, Notify: true, CreateIfMissing: true,
+		},
+		&Join{RequestID: 5, Group: "g", Policy: TransferPolicy{Mode: TransferLastN, LastN: 10}, Role: RolePrincipal},
+		&Join{RequestID: 6, Group: "g", Policy: TransferPolicy{Mode: TransferResume, FromSeq: 99}, Role: RolePrincipal},
+		&JoinAck{
+			RequestID: 4, Group: "g", NextSeq: 11, BaseSeq: 5,
+			Objects: []Object{{ID: "a", Data: []byte("aa")}},
+			Events:  []Event{sampleEvent(6), sampleEvent(7)},
+			Members: []MemberInfo{{ClientID: 1, Name: "alice", Role: RolePrincipal}},
+		},
+		&Leave{RequestID: 8, Group: "g"},
+		&LeaveAck{RequestID: 8},
+		&GetMembership{RequestID: 9, Group: "g"},
+		&MembershipInfo{RequestID: 9, Group: "g", Members: []MemberInfo{{ClientID: 2, Name: "bob", Role: RoleObserver}}},
+		&MembershipNotify{Group: "g", Change: MemberCrashed, Member: MemberInfo{ClientID: 2, Name: "bob", Role: RoleObserver}, Count: 3},
+		&Bcast{RequestID: 10, Group: "g", EvKind: EventState, ObjectID: "o", Data: []byte("payload"), SenderInclusive: true},
+		&BcastAck{RequestID: 10, Seq: 77},
+		&Deliver{Group: "g", Event: sampleEvent(77)},
+		&LockAcquire{RequestID: 11, Group: "g", Name: "cursor", Wait: true},
+		&LockRelease{RequestID: 12, Group: "g", Name: "cursor"},
+		&LockReply{RequestID: 11, Granted: false, Holder: 9},
+		&ReduceLog{RequestID: 13, Group: "g", UpToSeq: 50},
+		&ReduceLogAck{RequestID: 13, BaseSeq: 50, Trimmed: 49},
+		&ListGroups{RequestID: 14},
+		&GroupList{RequestID: 14, Groups: []string{"g", "h"}},
+		&Ping{Nonce: 123},
+		&Pong{Nonce: 123},
+		&ErrorMsg{RequestID: 15, Code: CodeNoSuchGroup, Text: "no such group"},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+func TestRoundTripClusterMessages(t *testing.T) {
+	msgs := []Message{
+		&SHello{RequestID: 1, ServerID: 2, Addr: "127.0.0.1:9000", Epoch: 3},
+		&SHelloAck{
+			RequestID: 1, CoordinatorID: 1, Epoch: 3, BootOrder: 2,
+			Servers: []ServerInfo{{ID: 1, Addr: "a", BootOrder: 0}, {ID: 2, Addr: "b", BootOrder: 1}},
+		},
+		&SForward{Origin: 2, Group: "g", Event: sampleEvent(0), SenderInclusive: true, RequestID: 4},
+		&SDistribute{Group: "g", Event: sampleEvent(8), SenderInclusive: false, Origin: 2, RequestID: 4},
+		&SInterest{ServerID: 2, Group: "g", Interested: true, Members: 5, Backup: true},
+		&SMemberUpdate{ServerID: 2, Group: "g", Change: MemberJoined, Member: MemberInfo{ClientID: 3, Name: "c", Role: RolePrincipal}},
+		&SHeartbeat{ServerID: 2, Epoch: 3, Time: 42},
+		&SServerList{CoordinatorID: 1, Epoch: 3, Servers: []ServerInfo{{ID: 1, Addr: "a"}}},
+		&SElect{CandidateID: 2, Epoch: 4, Addr: "127.0.0.1:9001"},
+		&SElectReply{VoterID: 3, CandidateID: 2, Epoch: 4, Ack: true},
+		&SStateRequest{RequestID: 5, Group: "g", FromSeq: 10},
+		&SStateResponse{
+			RequestID: 5, Group: "g", OK: true, Persistent: true, BaseSeq: 5, NextSeq: 12, Digest: 99,
+			Objects: []Object{{ID: "o", Data: []byte("s")}},
+			Events:  []Event{sampleEvent(10), sampleEvent(11)},
+			Members: []MemberInfo{{ClientID: 9, Name: "m", Role: RolePrincipal}},
+		},
+		&SGroupOp{RequestID: 6, Origin: 2, Op: GroupOpCreate, Group: "g", Persistent: true, Initial: []Object{{ID: "o"}}},
+		&SGroupOpAck{RequestID: 6, OK: false, Code: CodeGroupExists, Text: "exists"},
+		&SSeqQuery{RequestID: 7, Epoch: 4},
+		&SSeqReport{RequestID: 7, ServerID: 2, Groups: []GroupSeq{{Group: "g", NextSeq: 12, Digest: 0xDEADBEEF, Persistent: true, Members: 2}}},
+		&SDivergence{Group: "g", Resolution: ResolutionFork, ForkName: "g.fork-2"},
+		&SDivergence{Group: "g", Resolution: ResolutionRollback},
+		&SGroupsQuery{RequestID: 8},
+		&SGroupsReport{RequestID: 8, Groups: []string{"a", "b"}},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("Unmarshal(nil): want error")
+	}
+	if _, err := Unmarshal([]byte{0xFF}); err == nil {
+		t.Error("Unmarshal(unknown kind): want error")
+	}
+	// Truncated body: a JoinAck cut short must error, not panic.
+	full := Marshal(nil, &JoinAck{RequestID: 1, Group: "g", Objects: []Object{{ID: "o", Data: []byte("abc")}}})
+	for i := 1; i < len(full); i++ {
+		if _, err := Unmarshal(full[:i]); err == nil {
+			t.Errorf("Unmarshal(truncated to %d bytes): want error", i)
+		}
+	}
+}
+
+func TestUnmarshalCopiesData(t *testing.T) {
+	payload := []byte("mutate-me")
+	data := Marshal(nil, &Bcast{RequestID: 1, Group: "g", EvKind: EventState, ObjectID: "o", Data: payload})
+	msg, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 0
+	}
+	b, ok := msg.(*Bcast)
+	if !ok {
+		t.Fatalf("got %T, want *Bcast", msg)
+	}
+	if !bytes.Equal(b.Data, payload) {
+		t.Errorf("decoded data aliases input buffer: got %q", b.Data)
+	}
+}
+
+func TestDecoderHostileLengths(t *testing.T) {
+	// A huge element count with a tiny buffer must fail cleanly.
+	e := NewEncoder(nil)
+	e.PutByte(byte(KindJoinAck))
+	e.PutUvarint(1)                  // RequestID
+	e.PutString("g")                 // Group
+	e.PutUvarint(1)                  // NextSeq
+	e.PutUvarint(0)                  // BaseSeq
+	e.PutUvarint(math.MaxUint32 + 1) // object count lie
+	if _, err := Unmarshal(e.Bytes()); err == nil {
+		t.Error("hostile object count: want error")
+	}
+}
+
+func TestEncoderPrimitivesRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutByte(7)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutUvarint(1 << 40)
+	e.PutVarint(-12345)
+	e.PutUint32(0xDEADBEEF)
+	e.PutUint64(math.MaxUint64)
+	e.PutBytes([]byte("bytes"))
+	e.PutString("string")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Byte(); got != 7 {
+		t.Errorf("Byte = %d, want 7", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := d.Varint(); got != -12345 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := d.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %x", got)
+	}
+	if got := d.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 = %x", got)
+	}
+	if got := d.Bytes(); string(got) != "bytes" {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := d.String(); got != "string" {
+		t.Errorf("String = %q", got)
+	}
+	if d.Err() != nil {
+		t.Errorf("Err = %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.Uint64() // fails
+	if d.Err() == nil {
+		t.Fatal("want error after reading past end")
+	}
+	first := d.Err()
+	_ = d.String()
+	_ = d.Uvarint()
+	if d.Err() != first {
+		t.Errorf("error not sticky: %v != %v", d.Err(), first)
+	}
+}
+
+// TestQuickEventRoundTrip property-tests Deliver (and thus Event) encoding
+// over randomized field values.
+func TestQuickEventRoundTrip(t *testing.T) {
+	f := func(seq, sender uint64, kindBit bool, objectID string, data []byte, tstamp int64, group string) bool {
+		kind := EventState
+		if kindBit {
+			kind = EventUpdate
+		}
+		in := &Deliver{Group: group, Event: Event{
+			Seq: seq, Kind: kind, ObjectID: objectID, Data: data, Sender: sender, Time: tstamp,
+		}}
+		// The codec decodes empty data as nil; normalize for comparison.
+		if len(in.Event.Data) == 0 {
+			in.Event.Data = nil
+		}
+		out, err := Unmarshal(Marshal(nil, in))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBcastRoundTrip property-tests the hot-path request message.
+func TestQuickBcastRoundTrip(t *testing.T) {
+	f := func(req uint64, group, objectID string, data []byte, inclusive bool) bool {
+		in := &Bcast{
+			RequestID: req, Group: group, EvKind: EventUpdate,
+			ObjectID: objectID, Data: data, SenderInclusive: inclusive,
+		}
+		if len(in.Data) == 0 {
+			in.Data = nil
+		}
+		out, err := Unmarshal(Marshal(nil, in))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecoderNeverPanics feeds random bytes to Unmarshal; it must
+// return an error or a message, never panic.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := range factories {
+		if s := k.String(); s == "" || s[0] == 'K' && s[1] == 'i' { // "Kind(n)" fallback
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if got := Kind(250).String(); got != "Kind(250)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{EventState.String(), "state"},
+		{EventUpdate.String(), "update"},
+		{TransferFull.String(), "full"},
+		{TransferLastN.String(), "last-n"},
+		{TransferObjects.String(), "objects"},
+		{TransferNone.String(), "none"},
+		{TransferResume.String(), "resume"},
+		{RolePrincipal.String(), "principal"},
+		{RoleObserver.String(), "observer"},
+		{MemberJoined.String(), "joined"},
+		{MemberLeft.String(), "left"},
+		{MemberCrashed.String(), "crashed"},
+		{CodeNoSuchGroup.String(), "no-such-group"},
+		{CodeShuttingDown.String(), "shutting-down"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+	if !EventState.Valid() || EventKind(9).Valid() {
+		t.Error("EventKind.Valid misbehaves")
+	}
+	if !TransferResume.Valid() || TransferMode(0).Valid() {
+		t.Error("TransferMode.Valid misbehaves")
+	}
+	if !RoleObserver.Valid() || Role(0).Valid() {
+		t.Error("Role.Valid misbehaves")
+	}
+}
+
+func TestMarshalReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	msg := &Ping{Nonce: 1}
+	out := Marshal(buf, msg)
+	if &out[0] != &buf[:1][0] {
+		t.Error("Marshal did not reuse the provided buffer")
+	}
+}
+
+func BenchmarkMarshalBcast1000(b *testing.B) {
+	msg := &Bcast{RequestID: 1, Group: "bench", EvKind: EventUpdate, ObjectID: "o", Data: make([]byte, 1000)}
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Marshal(buf[:0], msg)
+	}
+}
+
+func BenchmarkUnmarshalDeliver1000(b *testing.B) {
+	data := Marshal(nil, &Deliver{Group: "bench", Event: Event{
+		Seq: 1, Kind: EventUpdate, ObjectID: "o", Data: make([]byte, 1000), Sender: 1, Time: 1,
+	}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
