@@ -9,12 +9,18 @@
 //
 // The defaults are scaled for a laptop-class machine; -full restores the
 // paper-scale parameters (600 messages per point, client counts up to 300).
+//
+// With -json (optionally -json=dir) every experiment additionally writes its
+// result as machine-readable BENCH_<experiment>.json next to the tables, so
+// plotting scripts do not have to scrape the text output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +47,8 @@ func run(args []string) error {
 		duration   = fs.Duration("duration", 2*time.Second, "blast duration per table1 cell")
 		dataDir    = fs.String("dir", "", "stable-storage directory (default: a temp dir)")
 	)
+	var jsonOut jsonDir
+	fs.Var(&jsonOut, "json", "also write BENCH_<experiment>.json (bare: current directory; -json=dir: that directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +76,8 @@ func run(args []string) error {
 	}
 
 	runOne := func(name string) error {
+		var params map[string]any
+		var result any
 		switch name {
 		case "fig3":
 			cc := counts
@@ -85,18 +95,24 @@ func run(args []string) error {
 				return err
 			}
 			bench.PrintFig3(os.Stdout, points, *msgSize)
+			params = map[string]any{"client_counts": cc, "msg_size": *msgSize, "messages": msgs}
+			result = points
 		case "sizesweep":
 			points, err := bench.RunSizeSweep(20, nil, msgs)
 			if err != nil {
 				return err
 			}
 			bench.PrintSizeSweep(os.Stdout, points, 20)
+			params = map[string]any{"clients": 20, "messages": msgs}
+			result = points
 		case "table1":
 			rows, err := bench.RunTable1(6, *duration, dir)
 			if err != nil {
 				return err
 			}
 			bench.PrintTable1(os.Stdout, rows, 6)
+			params = map[string]any{"blasters": 6, "duration_ns": *duration}
+			result = rows
 		case "table2":
 			cc := counts
 			if cc == nil {
@@ -112,6 +128,8 @@ func run(args []string) error {
 				return err
 			}
 			bench.PrintTable2(os.Stdout, rows, *servers, *msgSize)
+			params = map[string]any{"client_counts": cc, "servers": *servers, "msg_size": *msgSize, "messages": msgs}
+			result = rows
 		case "jointransfer":
 			cfg := bench.JoinTransferConfig{History: 2000, UpdateSize: 500, Objects: 8, LastN: 20, Joins: 30}
 			rows, err := bench.RunJoinTransfer(cfg)
@@ -119,28 +137,36 @@ func run(args []string) error {
 				return err
 			}
 			bench.PrintJoinTransfer(os.Stdout, rows, cfg)
+			params = map[string]any{"history": cfg.History, "update_size": cfg.UpdateSize, "objects": cfg.Objects, "last_n": cfg.LastN, "joins": cfg.Joins}
+			result = rows
 		case "logreduction":
 			res, err := bench.RunLogReduction(2000, 500, 20, dir+"/logred")
 			if err != nil {
 				return err
 			}
 			bench.PrintLogReduction(os.Stdout, res)
+			params = map[string]any{"history": 2000, "update_size": 500, "joins": 20}
+			result = res
 		case "relaxed":
 			res, err := bench.RunRelaxed(msgs)
 			if err != nil {
 				return err
 			}
 			bench.PrintRelaxed(os.Stdout, res)
+			params = map[string]any{"messages": msgs}
+			result = res
 		case "qos":
 			res, err := bench.RunQoS(msgs)
 			if err != nil {
 				return err
 			}
 			bench.PrintQoS(os.Stdout, res)
+			params = map[string]any{"messages": msgs}
+			result = res
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
-		return nil
+		return jsonOut.write(name, params, result)
 	}
 
 	if *experiment == "all" {
@@ -155,6 +181,64 @@ func run(args []string) error {
 		return nil
 	}
 	return runOne(*experiment)
+}
+
+// jsonDir is the -json flag: a boolean flag that optionally carries the
+// output directory. Bare `-json` writes into the current directory;
+// `-json=results/` writes there. Durations inside the result marshal as
+// integer nanoseconds (time.Duration's native JSON form).
+type jsonDir struct {
+	enabled bool
+	dir     string
+}
+
+func (j *jsonDir) String() string {
+	if !j.enabled {
+		return ""
+	}
+	return j.dir
+}
+
+// IsBoolFlag lets the flag package accept a bare -json with no operand.
+func (j *jsonDir) IsBoolFlag() bool { return true }
+
+func (j *jsonDir) Set(s string) error {
+	switch s {
+	case "false":
+		j.enabled = false
+	case "", "true":
+		j.enabled = true
+		j.dir = "."
+	default:
+		j.enabled = true
+		j.dir = s
+	}
+	return nil
+}
+
+// write emits BENCH_<experiment>.json when -json is on; otherwise a no-op.
+func (j *jsonDir) write(experiment string, params map[string]any, result any) error {
+	if !j.enabled {
+		return nil
+	}
+	envelope := struct {
+		Experiment string         `json:"experiment"`
+		Params     map[string]any `json:"params"`
+		Result     any            `json:"result"`
+	}{experiment, params, result}
+	data, err := json.MarshalIndent(envelope, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s result: %w", experiment, err)
+	}
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(j.dir, "BENCH_"+experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "corona-bench: wrote", path)
+	return nil
 }
 
 func parseCounts(s string) ([]int, error) {

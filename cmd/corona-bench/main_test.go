@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
@@ -49,5 +52,76 @@ func TestRunSmallExperiment(t *testing.T) {
 	err := run([]string{"-experiment", "fig3", "-clients", "2", "-messages", "3", "-dir", t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestJSONDirFlagParsing(t *testing.T) {
+	cases := []struct {
+		in      string
+		enabled bool
+		dir     string
+	}{
+		{"true", true, "."},
+		{"", true, "."},
+		{"false", false, ""},
+		{"results", true, "results"},
+	}
+	for _, c := range cases {
+		var j jsonDir
+		if err := j.Set(c.in); err != nil {
+			t.Fatalf("Set(%q): %v", c.in, err)
+		}
+		if j.enabled != c.enabled || (c.enabled && j.dir != c.dir) {
+			t.Errorf("Set(%q) = %+v, want enabled=%v dir=%q", c.in, j, c.enabled, c.dir)
+		}
+	}
+	var j jsonDir
+	if !j.IsBoolFlag() {
+		t.Error("jsonDir must report IsBoolFlag so a bare -json parses")
+	}
+}
+
+// TestRunWritesJSON is the acceptance check: `-experiment fig3 -json=<dir>`
+// must leave a parseable BENCH_fig3.json behind.
+func TestRunWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := t.TempDir()
+	err := run([]string{
+		"-experiment", "fig3", "-clients", "2", "-messages", "3",
+		"-dir", t.TempDir(), "-json=" + out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "BENCH_fig3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Experiment string         `json:"experiment"`
+		Params     map[string]any `json:"params"`
+		Result     []struct {
+			Clients  int
+			Stateful struct {
+				Count int
+				Mean  int64
+				P99   int64
+			}
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		t.Fatalf("BENCH_fig3.json is not valid JSON: %v", err)
+	}
+	if envelope.Experiment != "fig3" {
+		t.Errorf("experiment = %q, want fig3", envelope.Experiment)
+	}
+	if len(envelope.Result) != 1 {
+		t.Fatalf("result has %d points, want 1", len(envelope.Result))
+	}
+	p := envelope.Result[0]
+	if p.Clients != 2 || p.Stateful.Count != 3 || p.Stateful.Mean <= 0 {
+		t.Errorf("fig3 point = %+v", p)
 	}
 }

@@ -9,6 +9,10 @@
 //	coronad -role server -id 2 -addr :7471 -peer-addr :7481 -coordinator host:7480
 //	    A member server of a replicated service.
 //
+// With -debug-addr an HTTP debug server exposes GET /metrics (a JSON
+// snapshot of every instrument), GET /healthz, GET /trace, and the
+// net/http/pprof profiles under /debug/pprof/.
+//
 // The process exits cleanly on SIGINT/SIGTERM, flushing the stable-storage
 // log.
 package main
@@ -23,6 +27,7 @@ import (
 
 	"corona/internal/cluster"
 	"corona/internal/core"
+	"corona/internal/obs"
 	"corona/internal/wal"
 )
 
@@ -45,6 +50,7 @@ func run(args []string) error {
 		syncMode    = fs.String("sync", "interval", "log durability: never | interval | always")
 		stateless   = fs.Bool("stateless", false, "run the sequencer-only baseline (no state, no log)")
 		autoReduce  = fs.Int("auto-reduce", 8192, "state-log reduction threshold in events (0: disabled)")
+		debugAddr   = fs.String("debug-addr", "", "HTTP debug listen address serving /metrics, /healthz, /trace, /debug/pprof/ (empty: disabled)")
 		verbose     = fs.Bool("v", false, "debug logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +78,15 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer ds.Close()
+		logger.Info("debug server running", "addr", ds.Addr())
+	}
+
 	switch *role {
 	case "single":
 		srv, err := core.NewServer(core.Config{
@@ -79,6 +94,7 @@ func run(args []string) error {
 			Engine: core.EngineConfig{
 				Dir: *dir, Sync: sync, Stateless: *stateless,
 				AutoReduceThreshold: *autoReduce, Logger: logger,
+				Metrics: obs.Default,
 			},
 		})
 		if err != nil {
@@ -118,6 +134,7 @@ func run(args []string) error {
 			Engine: core.EngineConfig{
 				Dir: *dir, Sync: sync,
 				AutoReduceThreshold: *autoReduce,
+				Metrics:             obs.Default,
 			},
 			Logger: logger,
 		})

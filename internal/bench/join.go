@@ -102,7 +102,7 @@ func RunJoinTransfer(cfg JoinTransferConfig) ([]JoinTransferRow, error) {
 		if err != nil {
 			return rows, err
 		}
-		var samples []time.Duration
+		rec := NewRecorder()
 		var bytes int
 		for i := 0; i < cfg.Joins; i++ {
 			start := time.Now()
@@ -111,7 +111,7 @@ func RunJoinTransfer(cfg JoinTransferConfig) ([]JoinTransferRow, error) {
 				joiner.Close()
 				return rows, fmt.Errorf("%s join %d: %w", p.name, i, err)
 			}
-			samples = append(samples, time.Since(start))
+			rec.Record(time.Since(start))
 			if i == 0 {
 				for _, o := range res.Objects {
 					bytes += len(o.Data)
@@ -126,7 +126,7 @@ func RunJoinTransfer(cfg JoinTransferConfig) ([]JoinTransferRow, error) {
 			}
 		}
 		joiner.Close()
-		rows = append(rows, JoinTransferRow{Policy: p.name, Bytes: bytes, Stats: Summarize(samples)})
+		rows = append(rows, JoinTransferRow{Policy: p.name, Bytes: bytes, Stats: rec.Stats()})
 	}
 	return rows, nil
 }
@@ -206,18 +206,18 @@ func RunLogReduction(history, updateSize, joins int, dir string) (LogReductionRe
 			return LatencyStats{}, err
 		}
 		defer joiner.Close()
-		var samples []time.Duration
+		rec := NewRecorder()
 		for i := 0; i < joins; i++ {
 			start := time.Now()
 			if _, err := joiner.Join(group, client.JoinOptions{Policy: policy}); err != nil {
 				return LatencyStats{}, err
 			}
-			samples = append(samples, time.Since(start))
+			rec.Record(time.Since(start))
 			if err := joiner.Leave(group); err != nil {
 				return LatencyStats{}, err
 			}
 		}
-		return Summarize(samples), nil
+		return rec.Stats(), nil
 	}
 
 	lastN := wire.TransferPolicy{Mode: wire.TransferLastN, LastN: 10}
@@ -307,7 +307,7 @@ func measureLocalNotify(addr string, rounds int) (LatencyStats, error) {
 	}
 	defer churner.Close()
 
-	var samples []time.Duration
+	rec := NewRecorder()
 	for i := 0; i < rounds; i++ {
 		start := time.Now()
 		if _, err := churner.Join(group, client.JoinOptions{}); err != nil {
@@ -315,7 +315,7 @@ func measureLocalNotify(addr string, rounds int) (LatencyStats, error) {
 		}
 		select {
 		case at := <-notified:
-			samples = append(samples, at.Sub(start))
+			rec.Record(at.Sub(start))
 		case <-time.After(10 * time.Second):
 			return LatencyStats{}, fmt.Errorf("notify %d timed out", i)
 		}
@@ -329,5 +329,5 @@ func measureLocalNotify(addr string, rounds int) (LatencyStats, error) {
 			return LatencyStats{}, fmt.Errorf("leave notify %d timed out", i)
 		}
 	}
-	return Summarize(samples), nil
+	return rec.Stats(), nil
 }

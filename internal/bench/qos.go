@@ -152,14 +152,14 @@ func runQoSOnce(messages int, priority bool) (LatencyStats, uint64, error) {
 	}
 
 	time.Sleep(100 * time.Millisecond) // let the bulk load build up
-	var samples []time.Duration
+	rec := NewRecorder()
 	for i := 0; i < messages; i++ {
 		if _, err := probe.BcastUpdate("control", "c", []byte("tick"), false); err != nil {
 			return LatencyStats{}, 0, err
 		}
 		select {
 		case a := <-arrivals:
-			samples = append(samples, a.at.Sub(time.Unix(0, a.ev.Time)))
+			rec.Record(a.at.Sub(time.Unix(0, a.ev.Time)))
 		case <-time.After(30 * time.Second):
 			return LatencyStats{}, 0, fmt.Errorf("control delivery %d timed out", i)
 		}
@@ -168,7 +168,7 @@ func runQoSOnce(messages int, priority bool) (LatencyStats, uint64, error) {
 	mu.Lock()
 	bulk := bulkSeen
 	mu.Unlock()
-	return Summarize(samples), bulk, nil
+	return rec.Stats(), bulk, nil
 }
 
 // PrintQoS renders ablation A4.

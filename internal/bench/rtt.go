@@ -225,7 +225,7 @@ func runRTTProbe(addr string, cfg RTTConfig, addrs []string) (LatencyStats, erro
 	}
 	defer p.Close()
 
-	samples := make([]time.Duration, 0, cfg.Messages)
+	rec := NewRecorder()
 	total := cfg.Warmup + cfg.Messages
 	for i := 0; i < total; i++ {
 		rtt, err := p.RoundTrip()
@@ -233,13 +233,13 @@ func runRTTProbe(addr string, cfg RTTConfig, addrs []string) (LatencyStats, erro
 			return LatencyStats{}, fmt.Errorf("round trip %d: %w", i, err)
 		}
 		if i >= cfg.Warmup {
-			samples = append(samples, rtt)
+			rec.Record(rtt)
 		}
 		if cfg.Interval > 0 {
 			time.Sleep(cfg.Interval)
 		}
 	}
-	return Summarize(samples), nil
+	return rec.Stats(), nil
 }
 
 // Fig3Point is one measured point of the Figure 3 series.

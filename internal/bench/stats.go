@@ -12,6 +12,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"corona/internal/obs"
 )
 
 // LatencyStats summarizes a sample of round-trip times.
@@ -22,6 +24,7 @@ type LatencyStats struct {
 	Min    time.Duration
 	P50    time.Duration
 	P95    time.Duration
+	P99    time.Duration
 	Max    time.Duration
 }
 
@@ -56,7 +59,46 @@ func Summarize(samples []time.Duration) LatencyStats {
 		Min:    sorted[0],
 		P50:    pct(0.50),
 		P95:    pct(0.95),
+		P99:    pct(0.99),
 		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Recorder accumulates latency samples into an obs log-bucketed
+// histogram instead of an unbounded sample slice: constant memory no
+// matter how long the experiment runs, lock-free recording, and the
+// same snapshot machinery the server's own instruments use. Count, Sum,
+// Mean, StdDev, Min, and Max are exact; quantiles are bucket-resolution
+// (within one power of two, clamped to [Min, Max]).
+type Recorder struct {
+	h *obs.Histogram
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{h: obs.NewHistogram()}
+}
+
+// Record adds one sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.h.Record(d.Nanoseconds())
+}
+
+// Stats summarizes the recorded samples from a histogram snapshot.
+func (r *Recorder) Stats() LatencyStats {
+	s := r.h.Snapshot()
+	if s.Count == 0 {
+		return LatencyStats{}
+	}
+	return LatencyStats{
+		Count:  int(s.Count),
+		Mean:   time.Duration(s.Mean()),
+		StdDev: time.Duration(s.StdDev()),
+		Min:    time.Duration(s.Min),
+		P50:    time.Duration(s.P50),
+		P95:    time.Duration(s.Quantile(0.95)),
+		P99:    time.Duration(s.P99),
+		Max:    time.Duration(s.Max),
 	}
 }
 

@@ -18,8 +18,19 @@ import (
 	"sync"
 	"time"
 
+	"corona/internal/obs"
 	"corona/internal/transport"
 	"corona/internal/wire"
+)
+
+// Client-side instruments on the process-wide registry. Delivery
+// latency spans the server's sequencing timestamp to local receipt, so
+// it is cross-clock when client and server are on different machines;
+// implausible samples (negative, or over a minute) are dropped.
+var (
+	clientDeliveryNs = obs.Default.Histogram("client.delivery_ns")
+	clientReconnects = obs.Default.Counter("client.reconnects")
+	clientResyncs    = obs.Default.Counter("client.resyncs")
 )
 
 // Defaults.
@@ -242,6 +253,11 @@ func (c *Client) readLoop(conn *transport.Conn, gen int) {
 		}
 		switch m := msg.(type) {
 		case *wire.Deliver:
+			if m.Event.Time > 0 {
+				if d := time.Now().UnixNano() - m.Event.Time; d >= 0 && d < int64(time.Minute) {
+					clientDeliveryNs.Record(d)
+				}
+			}
 			c.noteDelivered(m.Group, m.Event.Seq)
 			if c.cfg.OnEvent != nil {
 				c.cfg.OnEvent(m.Group, m.Event)
@@ -685,6 +701,7 @@ func (c *Client) Reconnect() (map[string]*JoinResult, error) {
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
+	clientReconnects.Inc()
 	results := make(map[string]*JoinResult, len(rejoin))
 	for name, opts := range rejoin {
 		res, err := c.Join(name, opts)
@@ -692,6 +709,7 @@ func (c *Client) Reconnect() (map[string]*JoinResult, error) {
 			return results, fmt.Errorf("client: rejoin %q: %w", name, err)
 		}
 		results[name] = res
+		clientResyncs.Inc()
 	}
 	return results, nil
 }

@@ -485,7 +485,14 @@ func (c *Coordinator) handlePeerMessage(p *peer, msg wire.Message) {
 	case *wire.SStateResponse:
 		c.handleStateResponse(m)
 	case *wire.SHeartbeat:
-		// lastSeen already bumped.
+		// lastSeen already bumped. A non-zero Time is the echo of one
+		// of our own heartbeats: its age against our clock is the
+		// round trip to that server.
+		if m.Time > 0 {
+			if d := c.cfg.Now().UnixNano() - m.Time; plausibleLatency(d) {
+				clusterHeartbeatRTT.Record(d)
+			}
+		}
 	case *wire.SSeqReport:
 		c.handleSeqReport(p, m)
 	case *wire.SGroupsQuery:

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
+	"corona/internal/obs"
 	"corona/internal/transport"
 	"corona/internal/wire"
 )
@@ -182,6 +184,7 @@ func (s *Server) rank() int {
 // runCandidacy claims the coordinator role: probe every other server and
 // promote on a majority of acks.
 func (s *Server) runCandidacy() bool {
+	electionStart := time.Now()
 	s.mu.Lock()
 	candidateEpoch := s.epoch + 1
 	if candidateEpoch <= s.votedEpoch {
@@ -274,6 +277,8 @@ func (s *Server) runCandidacy() bool {
 	}
 	if acks < need {
 		s.log.Info("candidacy failed", "acks", acks, "need", need)
+		clusterElectionsNot.Inc()
+		obs.Default.Event("cluster", fmt.Sprintf("server %d lost election (epoch %d, %d/%d acks)", s.cfg.ID, candidateEpoch, acks, need))
 		for _, conn := range ackConns {
 			conn.Close()
 		}
@@ -286,6 +291,9 @@ func (s *Server) runCandidacy() bool {
 	}
 
 	s.promote(candidateEpoch)
+	clusterElectionsWon.Inc()
+	clusterElectionNs.Record(time.Since(electionStart).Nanoseconds())
+	obs.Default.Event("cluster", fmt.Sprintf("server %d won election (epoch %d)", s.cfg.ID, candidateEpoch))
 
 	// Announce the outcome so the voters re-register with us.
 	announce := &wire.SServerList{CoordinatorID: s.cfg.ID, Epoch: candidateEpoch}

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"time"
+
+	"corona/internal/obs"
+)
+
+// Cluster instruments live on the process-wide registry. Latencies are
+// nanoseconds. RTT and distribute latencies are computed across two
+// clocks when servers span machines, so recording is guarded by
+// plausibleLatency to keep skewed samples out of the histograms.
+var (
+	// clusterHeartbeatRTT is the coordinator-observed round trip of its
+	// heartbeats (send to echoed reply).
+	clusterHeartbeatRTT = obs.Default.Histogram("cluster.heartbeat_rtt_ns")
+	// clusterForwarded counts multicasts a member server forwarded to
+	// the coordinator for sequencing.
+	clusterForwarded = obs.Default.Counter("cluster.forwarded")
+	// clusterDistributeNs is the coordinator-to-replica latency of a
+	// sequenced event (sequencing timestamp to local apply).
+	clusterDistributeNs = obs.Default.Histogram("cluster.distribute_ns")
+	// clusterElectionNs is the duration of won coordinator elections.
+	clusterElectionNs   = obs.Default.Histogram("cluster.election_ns")
+	clusterElectionsWon = obs.Default.Counter("cluster.elections_won")
+	clusterElectionsNot = obs.Default.Counter("cluster.elections_lost")
+)
+
+// plausibleLatency filters cross-clock timestamp differences: negative
+// (skew) or over a minute (skew or a stalled queue that would say
+// nothing about the path being measured).
+func plausibleLatency(ns int64) bool {
+	return ns >= 0 && ns < int64(time.Minute)
+}

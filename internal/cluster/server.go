@@ -443,7 +443,9 @@ func (s *Server) handleCoordinatorMessage(msg wire.Message) {
 			}
 		}
 	case *wire.SHeartbeat:
-		s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: m.Epoch, Time: time.Now().UnixNano()})
+		// Echo the coordinator's timestamp so it can measure the round
+		// trip against its own clock.
+		s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: m.Epoch, Time: m.Time})
 	case *wire.SInterest:
 		// Coordinator-to-server interest is a backup designation.
 		if m.Interested && m.Backup {
@@ -467,6 +469,9 @@ func (s *Server) handleCoordinatorMessage(msg wire.Message) {
 // handleDistribute applies one sequenced event; a sequence gap triggers a
 // catch-up fetch of the missed suffix.
 func (s *Server) handleDistribute(m *wire.SDistribute) {
+	if d := time.Now().UnixNano() - m.Event.Time; plausibleLatency(d) {
+		clusterDistributeNs.Record(d)
+	}
 	reqID := uint64(0)
 	if m.Origin == s.cfg.ID {
 		reqID = m.RequestID
@@ -823,6 +828,7 @@ func (s *Server) forward(group string, ev wire.Event, senderInclusive bool, reqI
 	}) {
 		return ErrNoCoordinator
 	}
+	clusterForwarded.Inc()
 	return nil
 }
 
@@ -964,7 +970,10 @@ func (s *Server) heartbeatLoop() {
 			s.mu.Lock()
 			epoch := s.epoch
 			s.mu.Unlock()
-			s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: epoch, Time: time.Now().UnixNano()})
+			// Time zero marks a server-initiated liveness ping (as
+			// opposed to an echo of a coordinator heartbeat), so the
+			// coordinator does not mistake it for an RTT sample.
+			s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: epoch})
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"corona/internal/locks"
 	"corona/internal/membership"
+	"corona/internal/obs"
 	"corona/internal/seq"
 	"corona/internal/state"
 	"corona/internal/wal"
@@ -65,6 +66,11 @@ type EngineConfig struct {
 	// queued normal traffic on each client connection — the scheduling
 	// control of the paper's QoS-adaptive server (§5.3).
 	PriorityOf func(group string) Priority
+	// Metrics is the registry the engine hangs its instruments on.
+	// cmd/coronad passes obs.Default so they show up at -debug-addr;
+	// nil gets a private registry, keeping each test engine's numbers
+	// isolated.
+	Metrics *obs.Registry
 	// Hooks integrate the engine into a replicated service.
 	Hooks Hooks
 }
@@ -118,14 +124,26 @@ type Engine struct {
 	nextClient uint64
 	closed     bool
 
-	// stats, read with the lock held via Stats.
-	statBcasts    uint64
-	statDelivered uint64
-	statDropped   uint64
-	statReduced   uint64
+	// Instruments live outside e.mu: all counters are atomic, so the
+	// multicast hot path and Stats pollers never contend on the engine
+	// lock (the old mutex-guarded stat fields did).
+	metrics        *obs.Registry
+	mBcasts        *obs.Counter
+	mDelivered     *obs.Counter
+	mDropped       *obs.Counter
+	mReduced       *obs.Counter
+	mTransferBytes *obs.Counter
+	gSessions      *obs.Gauge
+	gGroups        *obs.Gauge
+	hFanout        *obs.Histogram
+	hJoin          *obs.Histogram
 }
 
 // Stats is a snapshot of engine counters.
+//
+// Deprecated: Stats mirrors a fixed subset of the engine's instruments
+// for compatibility. New code should read Metrics().Snapshot(), which
+// also carries the latency histograms.
 type Stats struct {
 	Sessions  uint64
 	Groups    uint64
@@ -150,6 +168,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
 	e := &Engine{
 		cfg:      cfg,
 		log:      cfg.Logger,
@@ -159,6 +181,17 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		seqr:     seq.New(cfg.Now),
 		sessions: make(map[uint64]*Session),
 		lowLSN:   make(map[string]uint64),
+
+		metrics:        metrics,
+		mBcasts:        metrics.Counter("engine.bcasts"),
+		mDelivered:     metrics.Counter("engine.delivered"),
+		mDropped:       metrics.Counter("engine.dropped"),
+		mReduced:       metrics.Counter("engine.reductions"),
+		mTransferBytes: metrics.Counter("engine.transfer_bytes"),
+		gSessions:      metrics.Gauge("engine.sessions"),
+		gGroups:        metrics.Gauge("engine.groups"),
+		hFanout:        metrics.Histogram("engine.fanout_ns"),
+		hJoin:          metrics.Histogram("engine.join_ns"),
 	}
 	if cfg.Dir != "" && !cfg.Stateless {
 		l, err := wal.Open(wal.Options{
@@ -174,8 +207,20 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			return nil, fmt.Errorf("core: recover: %w", err)
 		}
 		e.finishRecover()
+		e.syncGroupsGauge()
 	}
 	return e, nil
+}
+
+// Metrics returns the engine's instrument registry.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// syncGroupsGauge pins the groups gauge to the registry size. Called
+// after every mutation that creates or deletes groups; deriving the
+// level instead of counting deltas means the gauge cannot drift. Caller
+// holds e.mu (or is initializing).
+func (e *Engine) syncGroupsGauge() {
+	e.gGroups.Set(int64(e.reg.Len()))
 }
 
 // Close shuts the engine down: every session is closed and the log is
@@ -210,17 +255,19 @@ func (e *Engine) Stateless() bool { return e.cfg.Stateless }
 // ServerID returns the engine's server identity.
 func (e *Engine) ServerID() uint64 { return e.cfg.ServerID }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. It reads only atomic
+// instruments — no engine lock — so polling it never contends with the
+// multicast path.
+//
+// Deprecated: read Metrics().Snapshot() for the full instrument set.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return Stats{
-		Sessions:   uint64(len(e.sessions)),
-		Groups:     uint64(e.reg.Len()),
-		Bcasts:     e.statBcasts,
-		Delivered:  e.statDelivered,
-		Dropped:    e.statDropped,
-		Reductions: e.statReduced,
+		Sessions:   uint64(e.gSessions.Load()),
+		Groups:     uint64(e.gGroups.Load()),
+		Bcasts:     e.mBcasts.Load(),
+		Delivered:  e.mDelivered.Load(),
+		Dropped:    e.mDropped.Load(),
+		Reductions: e.mReduced.Load(),
 	}
 }
 
@@ -274,6 +321,7 @@ func (e *Engine) InstallGroup(name string, persistent bool, cp state.Checkpointe
 		if _, err := e.reg.Create(name, persistent, wire.MemberInfo{}); err != nil {
 			return err
 		}
+		e.syncGroupsGauge()
 	}
 	if !e.cfg.Stateless {
 		e.states[name] = st
@@ -373,8 +421,7 @@ func (e *Engine) Groups() []string {
 // write fails. Safe without the engine lock.
 func (e *Engine) failSession(s *Session, reason error) {
 	e.log.Warn("dropping session", "client", s.ID, "name", s.Name, "reason", reason)
-	e.mu.Lock()
-	e.statDropped++
-	e.mu.Unlock()
+	e.mDropped.Inc()
+	e.metrics.Event("core", fmt.Sprintf("dropping session %d (%s): %v", s.ID, s.Name, reason))
 	s.close()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"corona/internal/locks"
 	"corona/internal/membership"
@@ -94,6 +95,8 @@ func (e *Engine) createLocked(name string, persistent bool, initial []wire.Objec
 		e.states[name] = state.NewInitial(initial)
 	}
 	e.persistCreate(name, persistent, initial)
+	e.syncGroupsGauge()
+	e.metrics.Event("core", fmt.Sprintf("group %q created (persistent=%v)", name, persistent))
 	return nil
 }
 
@@ -119,6 +122,8 @@ func (e *Engine) handleDelete(s *Session, m *wire.DeleteGroup) {
 		return
 	}
 	e.cleanupGroupLocked(m.Group)
+	e.syncGroupsGauge()
+	e.metrics.Event("core", fmt.Sprintf("group %q deleted", m.Group))
 	s.send(&wire.DeleteGroupAck{RequestID: m.RequestID})
 }
 
@@ -139,6 +144,7 @@ func (s *Session) memberInfo(role wire.Role) wire.MemberInfo {
 }
 
 func (e *Engine) handleJoin(s *Session, m *wire.Join) {
+	start := time.Now()
 	role := m.Role
 	if !role.Valid() {
 		role = wire.RolePrincipal
@@ -187,12 +193,21 @@ func (e *Engine) handleJoin(s *Session, m *wire.Join) {
 		ack.Events = events
 		ack.BaseSeq = base
 		ack.NextSeq = st.NextSeq()
+		var transferred uint64
+		for _, o := range objs {
+			transferred += uint64(len(o.Data))
+		}
+		for _, ev := range events {
+			transferred += uint64(len(ev.Data))
+		}
+		e.mTransferBytes.Add(transferred)
 	} else {
 		// Stateless baseline: no transfer; deliveries start at the
 		// sequencer's next number.
 		ack.NextSeq = e.seqr.Peek(m.Group)
 	}
 	ack.Members = e.membersLocked(m.Group, g)
+	e.hJoin.Record(time.Since(start).Nanoseconds())
 	s.send(ack)
 
 	e.notifySubscribersExceptLocked(g, wire.MemberJoined, info, s.ID)
@@ -310,7 +325,9 @@ func (e *Engine) handleBcast(s *Session, m *wire.Bcast) {
 // it, and enqueues the delivery for every local member (honouring
 // sender-exclusive). Caller holds e.mu.
 func (e *Engine) applyAndFanoutLocked(name string, g *membership.Group, ev wire.Event, senderInclusive bool) {
-	e.statBcasts++
+	start := time.Now()
+	defer func() { e.hFanout.Record(time.Since(start).Nanoseconds()) }()
+	e.mBcasts.Inc()
 	if st := e.getState(name); st != nil {
 		if err := st.Apply(ev); err != nil {
 			// A sequencing bug; log loudly but keep serving.
@@ -340,7 +357,7 @@ func (e *Engine) applyAndFanoutLocked(name string, g *membership.Group, ev wire.
 			frame = transport.EncodeFrame(nil, &wire.Deliver{Group: name, Event: ev})
 		}
 		sess.sendFramePriority(frame, high)
-		e.statDelivered++
+		e.mDelivered.Inc()
 	}
 }
 
@@ -462,7 +479,8 @@ func (e *Engine) handleReduceLog(s *Session, m *wire.ReduceLog) {
 func (e *Engine) reduceLocked(name string, g *membership.Group, st *state.Group, upToSeq uint64) int {
 	trimmed := st.Reduce(upToSeq)
 	if trimmed > 0 {
-		e.statReduced++
+		e.mReduced.Inc()
+		e.metrics.Event("core", fmt.Sprintf("group %q log reduced by %d events", name, trimmed))
 		if g.Persistent {
 			e.persistCheckpoint(name, st)
 		}

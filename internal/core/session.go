@@ -41,6 +41,7 @@ func (e *Engine) AddSession(conn *transport.Conn, name string) (*Session, error)
 		pump:   transport.NewPump(conn, e.cfg.PumpDepth),
 	}
 	e.sessions[s.ID] = s
+	e.gSessions.Set(int64(len(e.sessions)))
 	return s, nil
 }
 
@@ -60,6 +61,7 @@ func (e *Engine) DropSession(s *Session, crashed bool) {
 		return
 	}
 	delete(e.sessions, s.ID)
+	e.gSessions.Set(int64(len(e.sessions)))
 
 	for _, name := range e.reg.GroupsOf(s.ID) {
 		e.removeMemberLocked(name, s.ID, change)
@@ -103,6 +105,8 @@ func (e *Engine) removeMemberLocked(name string, clientID uint64, change wire.Me
 func (e *Engine) dropGroupLocked(name string) {
 	_ = e.reg.Delete(name, wire.MemberInfo{})
 	e.cleanupGroupLocked(name)
+	e.syncGroupsGauge()
+	e.metrics.Event("core", "group "+name+" dropped")
 }
 
 // cleanupGroupLocked discards a group's state, sequence counter, locks, and

@@ -152,6 +152,16 @@ func (p *Proxy) acceptLoop() {
 		}
 		l := &link{client: conn, server: upstream}
 		p.mu.Lock()
+		// Re-check under the registration lock: a Cut or Close that ran
+		// since the pre-dial check has already snapshotted p.links, and a
+		// link registered now would never be severed (Close would then
+		// wait forever on the pipe goroutines).
+		if p.cut || p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			upstream.Close()
+			continue
+		}
 		p.links[l] = struct{}{}
 		p.mu.Unlock()
 

@@ -1,0 +1,41 @@
+// Package obs is Corona's observability layer: lock-free counters,
+// gauges, and log-bucketed latency histograms, a fixed-size event-trace
+// ring, a Registry that subsystems hang named instruments on, and an
+// HTTP debug server exposing the registry as JSON plus net/http/pprof.
+//
+// Everything on the record path is a handful of atomic operations — no
+// locks, no allocation — so instruments can sit on multicast fan-out,
+// WAL appends, and the transport write pump without perturbing the
+// latencies they measure. Snapshots are taken concurrently with
+// recording and are allowed to be slightly stale, never torn per-field.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed level (queue depth, open sessions).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Set stores an absolute level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	g.Add(3)
+	g.Add(-5)
+	if g.Load() != -2 {
+		t.Fatalf("gauge = %d, want -2", g.Load())
+	}
+	g.Set(7)
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Load())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Snapshot(); s.Count != 0 || s.P99 != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Min != 1 || s.Max != 1000 || s.Sum != 1106 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50 < s.Min || s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	if got := s.Mean(); math.Abs(got-1106.0/5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if s.StdDev() <= 0 {
+		t.Fatalf("stddev = %v", s.StdDev())
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-50)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrentRecordSnapshot(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 8, 2000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader exercising -race
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count > 0 && (s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max || s.P50 < s.Min) {
+				panic(fmt.Sprintf("mid-flight quantiles not monotone: %+v", s))
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			for j := 0; j < per; j++ {
+				h.Record(seed*1000 + int64(j))
+			}
+		}(int64(i))
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity not stable")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("gauge identity not stable")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatal("histogram identity not stable")
+	}
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h").Record(10)
+	s := r.Snapshot()
+	if s.Counters["a"] != 2 || s.Gauges["g"] != -1 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	r.Remove("a")
+	if _, ok := r.Snapshot().Counters["a"]; ok {
+		t.Fatal("Remove left counter registered")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge(fmt.Sprintf("g%d", i%3)).Add(1)
+				r.Histogram("h").Record(int64(j))
+				r.Event("test", "tick")
+				_ = r.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Snapshot().Counters["shared"]; got != 8*500 {
+		t.Fatalf("shared counter = %d, want %d", got, 8*500)
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	tr := NewTrace(16)
+	for i := 0; i < 40; i++ {
+		tr.Record("src", fmt.Sprintf("ev-%d", i))
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("retained = %d, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(25+i) {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, 25+i)
+		}
+		if ev.Message != fmt.Sprintf("ev-%d", 24+i) {
+			t.Fatalf("event %d message = %q", i, ev.Message)
+		}
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Histogram("lat").Record(1234)
+	r.Event("test", "hello")
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Counters["hits"] != 3 || snap.Histograms["lat"].Count != 1 {
+		t.Fatalf("metrics snapshot = %+v", snap)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if len(evs) != 1 || evs[0].Message != "hello" {
+		t.Fatalf("trace = %+v", evs)
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestHistogramProperties is the testing/quick property test required
+// by the observability issue: for any sequence of samples, Record then
+// Snapshot never loses a count, the sum/min/max are exact, every
+// quantile lies within [Min, Max], and quantiles are monotone in q.
+func TestHistogramProperties(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		h := NewHistogram()
+		var (
+			sum uint64
+			min = int64(-1)
+			max = int64(-1)
+		)
+		for _, r := range raw {
+			v := int64(r)
+			h.Record(v)
+			sum += uint64(v)
+			if min < 0 || v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		s := h.Snapshot()
+		if s.Count != uint64(len(raw)) || s.Sum != sum {
+			return false
+		}
+		if len(raw) == 0 {
+			return s.P50 == 0 && s.P90 == 0 && s.P99 == 0
+		}
+		if s.Min != min || s.Max != max {
+			return false
+		}
+		// Quantiles monotone in q and bounded by [Min, Max].
+		qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+		prev := s.Min
+		for _, q := range qs {
+			v := s.Quantile(q)
+			if v < s.Min || v > s.Max || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

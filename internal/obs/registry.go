@@ -1,0 +1,144 @@
+package obs
+
+import "sync"
+
+// Registry is a namespace of named instruments. Lookup is get-or-create
+// under a short RWMutex critical section; the instruments themselves
+// are lock-free, so callers resolve a name once at setup and hold the
+// pointer on the hot path.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	trace    *Trace
+}
+
+// Default is the process-wide registry. Package-scoped subsystems
+// (transport, wal, cluster, client) hang their instruments here;
+// cmd/coronad serves it at -debug-addr. Per-instance subsystems (the
+// core engine) take a registry in their config instead, so tests that
+// assert on one engine's numbers stay isolated.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry with a DefaultTraceSize trace.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		trace:    NewTrace(DefaultTraceSize),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Remove unregisters the named instrument of every kind. Holders of the
+// old pointer may keep recording into it; the values just no longer
+// appear in snapshots. Used for per-group instruments when the group is
+// deleted.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	delete(r.counters, name)
+	delete(r.gauges, name)
+	delete(r.hists, name)
+	r.mu.Unlock()
+}
+
+// Trace returns the registry's event ring.
+func (r *Registry) Trace() *Trace { return r.trace }
+
+// Event records a trace event — shorthand for Trace().Record.
+func (r *Registry) Event(source, message string) { r.trace.Record(source, message) }
+
+// Snapshot is a point-in-time JSON-marshalable view of every
+// registered instrument.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument. Safe concurrently with recording
+// and registration.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, v := range counters {
+		s.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Load()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceSize is the ring capacity a Registry's trace starts with.
+const DefaultTraceSize = 512
+
+// Event is one entry in the trace ring.
+type Event struct {
+	Seq     uint64 `json:"seq"`
+	Time    int64  `json:"time_ns"`
+	Source  string `json:"source"`
+	Message string `json:"message"`
+}
+
+// Trace is a fixed-size lock-free ring of recent events: membership
+// changes, elections, session failures — the "what just happened"
+// companion to the numeric instruments. Writers claim a slot with one
+// atomic increment and publish with one atomic pointer store; old
+// events are overwritten, never blocked on.
+type Trace struct {
+	mask   uint64
+	cursor atomic.Uint64
+	slots  []atomic.Pointer[Event]
+}
+
+// NewTrace returns a ring holding the most recent size events (rounded
+// up to a power of two, minimum 16).
+func NewTrace(size int) *Trace {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Trace{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Record appends an event, overwriting the oldest when full.
+func (t *Trace) Record(source, message string) {
+	seq := t.cursor.Add(1)
+	ev := &Event{Seq: seq, Time: time.Now().UnixNano(), Source: source, Message: message}
+	t.slots[(seq-1)&t.mask].Store(ev)
+}
+
+// Snapshot returns the retained events oldest-first. It is safe against
+// concurrent Record calls; a racing writer's event is either present or
+// absent, never torn.
+func (t *Trace) Snapshot() []Event {
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		if ev := t.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -12,13 +12,27 @@ package seq
 import (
 	"sort"
 	"time"
+
+	"corona/internal/obs"
 )
+
+// Sequencer throughput instruments: a process-wide assignment counter
+// plus one counter per live group (removed when the group is dropped),
+// so /metrics shows both aggregate and per-group sequencing rates.
+var seqAssigned = obs.Default.Counter("seq.assigned")
+
+type groupState struct {
+	// next is the sequence number the group's next event gets.
+	next uint64
+	// assigned counts assignments for this group; the pointer is
+	// resolved once so Next stays a map lookup plus an atomic add.
+	assigned *obs.Counter
+}
 
 // Sequencer assigns sequence numbers and server timestamps per group.
 type Sequencer struct {
-	// next holds the sequence number the next event of each group gets.
-	next map[string]uint64
-	now  func() time.Time
+	groups map[string]*groupState
+	now    func() time.Time
 }
 
 // New returns a Sequencer using now for timestamps (nil means time.Now).
@@ -26,48 +40,62 @@ func New(now func() time.Time) *Sequencer {
 	if now == nil {
 		now = time.Now
 	}
-	return &Sequencer{next: make(map[string]uint64), now: now}
+	return &Sequencer{groups: make(map[string]*groupState), now: now}
+}
+
+func groupCounterName(group string) string { return "seq.assigned." + group }
+
+func (s *Sequencer) state(group string) *groupState {
+	g, ok := s.groups[group]
+	if !ok {
+		g = &groupState{next: 1, assigned: obs.Default.Counter(groupCounterName(group))}
+		s.groups[group] = g
+	}
+	return g
 }
 
 // Next assigns the next sequence number for group and a server timestamp
 // (Unix nanoseconds). The first event of a group gets sequence 1.
 func (s *Sequencer) Next(group string) (seqNo uint64, timestamp int64) {
-	n, ok := s.next[group]
-	if !ok {
-		n = 1
-	}
-	s.next[group] = n + 1
+	g := s.state(group)
+	n := g.next
+	g.next = n + 1
+	g.assigned.Inc()
+	seqAssigned.Inc()
 	return n, s.now().UnixNano()
 }
 
 // Peek returns the sequence number the next event of group would get,
 // without consuming it.
 func (s *Sequencer) Peek(group string) uint64 {
-	n, ok := s.next[group]
-	if !ok {
-		return 1
+	if g, ok := s.groups[group]; ok {
+		return g.next
 	}
-	return n
+	return 1
 }
 
 // Observe raises the group's counter so the next assignment exceeds seqNo.
 // Recovery paths use it: replaying a log, or a newly elected coordinator
 // folding in the high-water marks reported by the surviving servers.
 func (s *Sequencer) Observe(group string, seqNo uint64) {
-	if n := s.next[group]; seqNo+1 > n {
-		s.next[group] = seqNo + 1
+	g := s.state(group)
+	if seqNo+1 > g.next {
+		g.next = seqNo + 1
 	}
 }
 
-// Drop forgets a deleted group's counter.
+// Drop forgets a deleted group's counter and unregisters its instrument.
 func (s *Sequencer) Drop(group string) {
-	delete(s.next, group)
+	if _, ok := s.groups[group]; ok {
+		delete(s.groups, group)
+		obs.Default.Remove(groupCounterName(group))
+	}
 }
 
 // Groups returns the tracked group names, sorted.
 func (s *Sequencer) Groups() []string {
-	out := make([]string, 0, len(s.next))
-	for g := range s.next {
+	out := make([]string, 0, len(s.groups))
+	for g := range s.groups {
 		out = append(out, g)
 	}
 	sort.Strings(out)

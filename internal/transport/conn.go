@@ -104,6 +104,7 @@ func (c *Conn) readFrame() ([]byte, error) {
 	if _, err := io.ReadFull(c.br, buf); err != nil {
 		return nil, fmt.Errorf("transport: short frame: %w", err)
 	}
+	bytesIn.Add(uint64(4 + n))
 	return buf, nil
 }
 
@@ -115,6 +116,7 @@ func (c *Conn) WriteMessage(msg wire.Message) error {
 	if _, err := c.bw.Write(c.wbuf); err != nil {
 		return err
 	}
+	bytesOut.Add(uint64(len(c.wbuf)))
 	return c.bw.Flush()
 }
 
@@ -126,6 +128,7 @@ func (c *Conn) WriteFrame(frame []byte) error {
 	if _, err := c.bw.Write(frame); err != nil {
 		return err
 	}
+	bytesOut.Add(uint64(len(frame)))
 	return c.bw.Flush()
 }
 
@@ -135,6 +138,9 @@ func (c *Conn) writeFrameNoFlush(frame []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	_, err := c.bw.Write(frame)
+	if err == nil {
+		bytesOut.Add(uint64(len(frame)))
+	}
 	return err
 }
 

@@ -1,0 +1,23 @@
+package transport
+
+import "corona/internal/obs"
+
+// Transport instruments live on the process-wide registry: a process
+// hosts many conns and pumps, and what matters operationally is the
+// aggregate — total queued frames across all write pumps, total stalls,
+// total bytes moved. Pointers are resolved once at init so the hot
+// paths pay only the atomic update.
+var (
+	// pumpDepth is the number of frames currently queued across every
+	// live pump (both lanes).
+	pumpDepth = obs.Default.Gauge("transport.pump.queue_depth")
+	// pumpEnqueued counts frames accepted onto a pump queue.
+	pumpEnqueued = obs.Default.Counter("transport.pump.enqueued")
+	// pumpStalls counts sends rejected with ErrPumpOverflow — each one
+	// is a slow receiver at the moment the server gave up on it.
+	pumpStalls = obs.Default.Counter("transport.pump.stalls")
+	// bytesIn/bytesOut count framed bytes (payload plus the 4-byte
+	// length prefix) crossing every Conn in the process.
+	bytesIn  = obs.Default.Counter("transport.bytes_in")
+	bytesOut = obs.Default.Counter("transport.bytes_out")
+)

@@ -87,8 +87,11 @@ func (p *Pump) enqueue(frame []byte, high bool) error {
 	}
 	select {
 	case ch <- frame:
+		pumpEnqueued.Inc()
+		pumpDepth.Add(1)
 		return nil
 	default:
+		pumpStalls.Inc()
 		return ErrPumpOverflow
 	}
 }
@@ -131,6 +134,7 @@ func (p *Pump) run() {
 					hi = nil
 					continue
 				}
+				pumpDepth.Add(-1)
 				if !p.writeOne(frame) {
 					return
 				}
@@ -144,6 +148,7 @@ func (p *Pump) run() {
 				hi = nil
 				continue
 			}
+			pumpDepth.Add(-1)
 			if !p.writeOne(frame) {
 				return
 			}
@@ -152,6 +157,7 @@ func (p *Pump) run() {
 				normal = nil
 				continue
 			}
+			pumpDepth.Add(-1)
 			if !p.writeOne(frame) {
 				return
 			}
@@ -191,7 +197,9 @@ func (p *Pump) fail(err error) {
 	}
 	p.mu.Unlock()
 	for range p.ch { // discard
+		pumpDepth.Add(-1)
 	}
 	for range p.hi {
+		pumpDepth.Add(-1)
 	}
 }

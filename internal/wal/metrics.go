@@ -1,0 +1,17 @@
+package wal
+
+import "corona/internal/obs"
+
+// WAL instruments aggregate across every open log in the process on the
+// default registry. Latency histograms are in nanoseconds.
+var (
+	walAppends     = obs.Default.Counter("wal.appends")
+	walAppendBytes = obs.Default.Counter("wal.append_bytes")
+	walAppendNs    = obs.Default.Histogram("wal.append_ns")
+	walFsyncs      = obs.Default.Counter("wal.fsyncs")
+	walFsyncNs     = obs.Default.Histogram("wal.fsync_ns")
+	walRolls       = obs.Default.Counter("wal.rolls")
+	// walSegments tracks live on-disk segments (including each log's
+	// active segment) summed over all open logs.
+	walSegments = obs.Default.Gauge("wal.segments")
+)

@@ -131,6 +131,7 @@ func Open(opts Options) (*Log, error) {
 	if err := l.load(); err != nil {
 		return nil, err
 	}
+	walSegments.Add(int64(len(l.segments)) + 1)
 	if opts.Sync == SyncInterval {
 		go l.syncLoop()
 	} else {
@@ -255,6 +256,10 @@ func (l *Log) roll() error {
 			return err
 		}
 		l.segments = append(l.segments, l.active)
+		// A real roll adds a segment; the initial roll during load is
+		// accounted by Open.
+		walRolls.Inc()
+		walSegments.Add(1)
 	}
 	path := segPath(l.opts.Dir, l.nextLSN)
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
@@ -274,6 +279,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) > MaxRecordSize {
 		return 0, ErrRecordTooLarge
 	}
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -304,6 +310,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	walAppends.Inc()
+	walAppendBytes.Add(uint64(len(payload)))
+	walAppendNs.Record(time.Since(start).Nanoseconds())
 	return lsn, nil
 }
 
@@ -321,6 +330,7 @@ func (l *Log) syncLocked() error {
 	if !l.needSync {
 		return nil
 	}
+	start := time.Now()
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
@@ -328,6 +338,8 @@ func (l *Log) syncLocked() error {
 		return err
 	}
 	l.needSync = false
+	walFsyncs.Inc()
+	walFsyncNs.Record(time.Since(start).Nanoseconds())
 	return nil
 }
 
@@ -456,16 +468,19 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 		return ErrClosed
 	}
 	kept := l.segments[:0]
+	removed := int64(0)
 	for _, s := range l.segments {
 		if s.first+s.count <= lsn {
 			if err := os.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: %w", err)
 			}
+			removed++
 			continue
 		}
 		kept = append(kept, s)
 	}
 	l.segments = kept
+	walSegments.Add(-removed)
 	return nil
 }
 
@@ -488,6 +503,7 @@ func (l *Log) Close() error {
 	flushErr := l.w.Flush()
 	syncErr := l.f.Sync()
 	closeErr := l.f.Close()
+	walSegments.Add(-int64(len(l.segments)) - 1)
 	l.mu.Unlock()
 
 	close(l.stop)

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate. Run from the repository root:
+#
+#	./scripts/check.sh
+#
+# It fails on unformatted files, vet findings, build errors, or test
+# failures (race detector on, short mode to keep it under a minute).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race -short"
+go test -race -short ./...
+
+echo "OK"
