@@ -119,6 +119,30 @@ func BenchmarkTable1Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkMultigroupScaling measures aggregate throughput as a blasting
+// load is spread over disjoint groups — the sharded engine's parallel
+// multicast path. On a multicore machine the KB/s metric should rise with
+// the group count; allocs/op guards the pooled fanout frames.
+func BenchmarkMultigroupScaling(b *testing.B) {
+	for _, groups := range []int{1, 4} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			b.ReportAllocs()
+			var kbps float64
+			for i := 0; i < b.N; i++ {
+				points, err := bench.RunMultigroup(bench.MultigroupConfig{
+					GroupCounts: []int{groups},
+					Duration:    500 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				kbps = points[0].IngestedKBps
+			}
+			b.ReportMetric(kbps, "KB/s")
+		})
+	}
+}
+
 // BenchmarkTable2Replicated reproduces Table 2: round-trip delay for a
 // 1000-byte multicast at rising client counts, single server vs. a
 // replicated service (coordinator + 6 servers, clients spread evenly).

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	corona-bench -experiment fig3|sizesweep|table1|table2|jointransfer|logreduction|relaxed|qos|all [flags]
+//	corona-bench -experiment fig3|sizesweep|table1|table2|multigroup|jointransfer|logreduction|relaxed|qos|all [flags]
 //
 // The defaults are scaled for a laptop-class machine; -full restores the
 // paper-scale parameters (600 messages per point, client counts up to 300).
@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -38,13 +39,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("corona-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | jointransfer | logreduction | relaxed | qos | all")
+		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | multigroup | jointransfer | logreduction | relaxed | qos | all")
 		full       = fs.Bool("full", false, "paper-scale parameters (slow: hundreds of clients, 600 messages per point)")
 		messages   = fs.Int("messages", 0, "timed messages per point (0 = experiment default)")
 		msgSize    = fs.Int("size", 1000, "multicast payload bytes for latency experiments")
 		clients    = fs.String("clients", "", "comma-separated client counts for fig3/table2 (overrides defaults)")
 		servers    = fs.Int("servers", 6, "member servers for table2")
-		duration   = fs.Duration("duration", 2*time.Second, "blast duration per table1 cell")
+		duration   = fs.Duration("duration", 2*time.Second, "blast duration per table1/multigroup cell")
+		groups     = fs.String("groups", "", "comma-separated group counts for multigroup (default 1,2,4,8)")
+		perGroup   = fs.Int("per-group", 2, "blasting clients per group for multigroup")
 		dataDir    = fs.String("dir", "", "stable-storage directory (default: a temp dir)")
 	)
 	var jsonOut jsonDir
@@ -130,6 +133,28 @@ func run(args []string) error {
 			bench.PrintTable2(os.Stdout, rows, *servers, *msgSize)
 			params = map[string]any{"client_counts": cc, "servers": *servers, "msg_size": *msgSize, "messages": msgs}
 			result = rows
+		case "multigroup":
+			gc, err := parseCounts(*groups)
+			if err != nil {
+				return err
+			}
+			cfg := bench.MultigroupConfig{
+				GroupCounts: gc, ClientsPerGroup: *perGroup,
+				MsgSize: *msgSize, Duration: *duration,
+			}
+			points, err := bench.RunMultigroup(cfg)
+			if err != nil {
+				return err
+			}
+			if cfg.GroupCounts == nil {
+				cfg.GroupCounts = []int{1, 2, 4, 8}
+			}
+			bench.PrintMultigroup(os.Stdout, points, cfg)
+			params = map[string]any{
+				"group_counts": cfg.GroupCounts, "clients_per_group": *perGroup,
+				"msg_size": *msgSize, "duration_ns": *duration, "gomaxprocs": runtime.GOMAXPROCS(0),
+			}
+			result = points
 		case "jointransfer":
 			cfg := bench.JoinTransferConfig{History: 2000, UpdateSize: 500, Objects: 8, LastN: 20, Joins: 30}
 			rows, err := bench.RunJoinTransfer(cfg)
@@ -170,7 +195,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "jointransfer", "logreduction", "relaxed", "qos"} {
+		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "multigroup", "jointransfer", "logreduction", "relaxed", "qos"} {
 			if i > 0 {
 				fmt.Println()
 			}

@@ -11,7 +11,10 @@
 //
 // With -debug-addr an HTTP debug server exposes GET /metrics (a JSON
 // snapshot of every instrument), GET /healthz, GET /trace, and the
-// net/http/pprof profiles under /debug/pprof/.
+// net/http/pprof profiles under /debug/pprof/. Adding -contention-profile
+// turns on the runtime's mutex and blocking samplers, populating
+// /debug/pprof/mutex and /debug/pprof/block — the tool for checking that
+// multicasts into disjoint groups are not serializing on a shared lock.
 //
 // The process exits cleanly on SIGINT/SIGTERM, flushing the stable-storage
 // log.
@@ -23,7 +26,9 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
+	"time"
 
 	"corona/internal/cluster"
 	"corona/internal/core"
@@ -51,6 +56,7 @@ func run(args []string) error {
 		stateless   = fs.Bool("stateless", false, "run the sequencer-only baseline (no state, no log)")
 		autoReduce  = fs.Int("auto-reduce", 8192, "state-log reduction threshold in events (0: disabled)")
 		debugAddr   = fs.String("debug-addr", "", "HTTP debug listen address serving /metrics, /healthz, /trace, /debug/pprof/ (empty: disabled)")
+		contention  = fs.Bool("contention-profile", false, "record mutex and blocking profiles, served at /debug/pprof/mutex and /debug/pprof/block (adds sampling overhead)")
 		verbose     = fs.Bool("v", false, "debug logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +79,15 @@ func run(args []string) error {
 		sync = wal.SyncAlways
 	default:
 		return fmt.Errorf("unknown sync mode %q", *syncMode)
+	}
+
+	if *contention {
+		// 1-in-1000 mutex contention events and all blocking events of
+		// at least 10µs: cheap enough to leave on while chasing lock
+		// contention in the multicast path, without -debug-addr the data
+		// is still reachable via a later SIGQUIT stack dump or attach.
+		runtime.SetMutexProfileFraction(1000)
+		runtime.SetBlockProfileRate(int(10 * time.Microsecond / time.Nanosecond))
 	}
 
 	sig := make(chan os.Signal, 1)

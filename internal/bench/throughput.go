@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -45,6 +46,11 @@ type ThroughputResult struct {
 	DeliveredKBps float64
 	// Messages is the number of multicasts sequenced.
 	Messages uint64
+	// AllocsPerMsg is the process-wide heap allocations per sequenced
+	// multicast during the blast. Clients run in-process, so this counts
+	// both sides of the protocol; it is a regression tripwire for the
+	// pooled fanout path, not a pure server number.
+	AllocsPerMsg float64
 }
 
 // RunThroughput measures one Table 1 cell.
@@ -110,6 +116,8 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	before := srv.Engine().Stats()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for _, c := range clients {
 		for p := 0; p < cfg.Pipeline; p++ {
@@ -138,26 +146,38 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	after := srv.Engine().Stats()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	msgs := after.Bcasts - before.Bcasts
 	delivered := after.Delivered - before.Delivered
 	secs := elapsed.Seconds()
-	return ThroughputResult{
+	res := ThroughputResult{
 		IngestedKBps:  float64(msgs) * float64(cfg.MsgSize) / 1024 / secs,
 		DeliveredKBps: float64(delivered) * float64(cfg.MsgSize) / 1024 / secs,
 		Messages:      msgs,
-	}, nil
+	}
+	if msgs > 0 {
+		res.AllocsPerMsg = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(msgs)
+	}
+	return res, nil
 }
 
-// Table1Row is one row of the reproduced Table 1.
+// Table1Row is one row of the reproduced Table 1. Allocs1K/Allocs10K are
+// process-wide heap allocations per multicast (see
+// ThroughputResult.AllocsPerMsg).
 type Table1Row struct {
-	Config  string
-	KBps1K  float64
-	KBps10K float64
+	Config    string
+	KBps1K    float64
+	KBps10K   float64
+	Allocs1K  float64
+	Allocs10K float64
 }
 
-// RunTable1 measures both rows (memory-only vs. disk logging) at both
-// message sizes.
+// RunTable1 measures every logging policy at both message sizes. The
+// always-sync row is the group-commit stress case: each client pipeline
+// blocks on durability, so throughput there measures how many appends one
+// fsync amortizes.
 func RunTable1(clients int, duration time.Duration, dir string) ([]Table1Row, error) {
 	rows := []struct {
 		name string
@@ -166,6 +186,7 @@ func RunTable1(clients int, duration time.Duration, dir string) ([]Table1Row, er
 	}{
 		{"memory-only logging", "", wal.SyncNever},
 		{"disk logging (interval sync)", dir, wal.SyncInterval},
+		{"disk logging (always sync)", dir, wal.SyncAlways},
 	}
 	var out []Table1Row
 	for i, r := range rows {
@@ -184,8 +205,10 @@ func RunTable1(clients int, duration time.Duration, dir string) ([]Table1Row, er
 			}
 			if size == 1000 {
 				row.KBps1K = res.IngestedKBps
+				row.Allocs1K = res.AllocsPerMsg
 			} else {
 				row.KBps10K = res.IngestedKBps
+				row.Allocs10K = res.AllocsPerMsg
 			}
 		}
 		out = append(out, row)
@@ -197,8 +220,8 @@ func RunTable1(clients int, duration time.Duration, dir string) ([]Table1Row, er
 func PrintTable1(w io.Writer, rows []Table1Row, clients int) {
 	fmt.Fprintf(w, "Table 1: server throughput (KB/s), %d blasting clients\n", clients)
 	fmt.Fprintf(w, "(paper rows: UltraSparc vs quad Pentium II; reproduced axis: logging policy)\n")
-	fmt.Fprintf(w, "%-32s %-14s %-14s\n", "server configuration", "1000 B", "10000 B")
+	fmt.Fprintf(w, "%-32s %-10s %-10s %-12s %-12s\n", "server configuration", "1000 B", "10000 B", "allocs/msg", "allocs/msg")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-32s %-14.0f %-14.0f\n", r.Config, r.KBps1K, r.KBps10K)
+		fmt.Fprintf(w, "%-32s %-10.0f %-10.0f %-12.1f %-12.1f\n", r.Config, r.KBps1K, r.KBps10K, r.Allocs1K, r.Allocs10K)
 	}
 }

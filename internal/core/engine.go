@@ -6,13 +6,23 @@
 // single-server frontend used by the paper's Figure 3 and Table 1
 // experiments; the replicated frontend lives in internal/cluster.
 //
-// The Engine uses a single coarse mutex. The paper's own measurements show
-// the service is bound by network fanout, not by state maintenance ("the
-// overhead of maintaining the state at the service is most of the time
-// negligible"), and a single lock makes the ordering guarantees — total
-// order per group, FIFO per sender, JoinAck before any subsequent Deliver —
-// trivially auditable. Deliveries leave the lock as non-blocking enqueues
-// onto per-client write pumps.
+// The Engine shards its locking per group, because groups are independent
+// ordering domains (total order is per group, paper §4.1): an engine-level
+// RWMutex guards the group/session registries, and each group carries its
+// own mutex serializing sequence/apply/fanout. The multicast hot path takes
+// the engine lock in read mode plus one group mutex, so disjoint groups
+// sequence, apply, and fan out in parallel across cores; group create and
+// delete, membership changes, and lock operations take the engine lock in
+// write mode, which excludes every in-flight multicast and keeps the
+// ordering guarantees — total order per group, FIFO per sender, JoinAck
+// before any subsequent Deliver — as auditable as the original single
+// coarse mutex. WAL durability is off the apply path: appends are queued to
+// the log's group-commit writer, which batches records from concurrent
+// groups into one buffered write and one fsync, and under SyncAlways the
+// sender's BcastAck is deferred until its record's batch is durable (the
+// paper's "multicast data to a group in parallel with disk logging", §6).
+// Deliveries leave the locks as non-blocking enqueues of pooled shared
+// frames onto per-client write pumps.
 package core
 
 import (
@@ -109,20 +119,36 @@ type Hooks struct {
 }
 
 // Engine is the stateful multicast service core.
+//
+// Locking protocol. e.mu guards the registries (reg, states, groupMus,
+// sessions, locks, nextClient, closed). Operations that mutate them — group
+// create/delete, join/leave, session add/drop, lock ops, log reduction —
+// take it in write mode. The multicast path (handleBcast, ApplyDistribute,
+// ApplyEvents) takes it in read mode plus the target group's mutex from
+// groupMus, so multicasts to disjoint groups run in parallel while any
+// write-mode operation still excludes every multicast (which is what makes
+// JoinAck-before-Deliver and snapshot consistency trivial). Order: e.mu
+// before a group mutex; a group mutex is only ever held together with the
+// read lock, and never more than one at a time. lowLSN has its own little
+// mutex (lsnMu) because WAL completion callbacks update it from the
+// committer goroutine.
 type Engine struct {
 	cfg EngineConfig
 	log *slog.Logger
 
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	reg        *membership.Registry
 	states     map[string]*state.Group
+	groupMus   map[string]*sync.Mutex
 	locks      *locks.Table
 	seqr       *seq.Sequencer
 	sessions   map[uint64]*Session
 	wal        *wal.Log // nil when Dir == "" or Stateless
-	lowLSN     map[string]uint64
 	nextClient uint64
 	closed     bool
+
+	lsnMu  sync.Mutex
+	lowLSN map[string]uint64
 
 	// Instruments live outside e.mu: all counters are atomic, so the
 	// multicast hot path and Stats pollers never contend on the engine
@@ -133,10 +159,12 @@ type Engine struct {
 	mDropped       *obs.Counter
 	mReduced       *obs.Counter
 	mTransferBytes *obs.Counter
+	mWALErrors     *obs.Counter
 	gSessions      *obs.Gauge
 	gGroups        *obs.Gauge
 	hFanout        *obs.Histogram
 	hJoin          *obs.Histogram
+	hLockWait      *obs.Histogram
 }
 
 // Stats is a snapshot of engine counters.
@@ -177,6 +205,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		log:      cfg.Logger,
 		reg:      membership.NewRegistry(cfg.SessionManager),
 		states:   make(map[string]*state.Group),
+		groupMus: make(map[string]*sync.Mutex),
 		locks:    locks.NewTable(),
 		seqr:     seq.New(cfg.Now),
 		sessions: make(map[uint64]*Session),
@@ -188,10 +217,12 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		mDropped:       metrics.Counter("engine.dropped"),
 		mReduced:       metrics.Counter("engine.reductions"),
 		mTransferBytes: metrics.Counter("engine.transfer_bytes"),
+		mWALErrors:     metrics.Counter("engine.wal_append_errors"),
 		gSessions:      metrics.Gauge("engine.sessions"),
 		gGroups:        metrics.Gauge("engine.groups"),
 		hFanout:        metrics.Histogram("engine.fanout_ns"),
 		hJoin:          metrics.Histogram("engine.join_ns"),
+		hLockWait:      metrics.Histogram("engine.bcast_lock_wait_ns"),
 	}
 	if cfg.Dir != "" && !cfg.Stateless {
 		l, err := wal.Open(wal.Options{
@@ -287,8 +318,8 @@ func (e *Engine) getState(group string) *state.Group {
 // HasGroup reports whether the group is registered. Used by the replicated
 // frontend to decide whether a join needs a state fetch first.
 func (e *Engine) HasGroup(name string) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	_, ok := e.reg.Get(name)
 	return ok
 }
@@ -296,8 +327,8 @@ func (e *Engine) HasGroup(name string) bool {
 // LocalMembers returns the number of members connected to this server for
 // the group.
 func (e *Engine) LocalMembers(name string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	g, ok := e.reg.Get(name)
 	if !ok {
 		return 0
@@ -322,6 +353,9 @@ func (e *Engine) InstallGroup(name string, persistent bool, cp state.Checkpointe
 			return err
 		}
 		e.syncGroupsGauge()
+	}
+	if e.groupMus[name] == nil {
+		e.groupMus[name] = new(sync.Mutex)
 	}
 	if !e.cfg.Stateless {
 		e.states[name] = st
@@ -402,17 +436,15 @@ func (e *Engine) SeqReport() []wire.GroupSeq {
 }
 
 // ObserveSeq raises a group's sequencer high-water mark (coordinator
-// recovery).
+// recovery). The sequencer is self-synchronizing.
 func (e *Engine) ObserveSeq(group string, seqNo uint64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.seqr.Observe(group, seqNo)
 }
 
 // Groups returns the names of all registered groups.
 func (e *Engine) Groups() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.reg.Names()
 }
 

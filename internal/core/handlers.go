@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"corona/internal/locks"
@@ -93,6 +94,9 @@ func (e *Engine) createLocked(name string, persistent bool, initial []wire.Objec
 	}
 	if !e.cfg.Stateless {
 		e.states[name] = state.NewInitial(initial)
+	}
+	if _, ok := e.groupMus[name]; !ok {
+		e.groupMus[name] = new(sync.Mutex)
 	}
 	e.persistCreate(name, persistent, initial)
 	e.syncGroupsGauge()
@@ -227,7 +231,7 @@ func (e *Engine) membersLocked(name string, g *membership.Group) []wire.MemberIn
 // notifySubscribersExceptLocked is notifySubscribersLocked minus one
 // recipient — the joiner already learns the membership from its JoinAck.
 func (e *Engine) notifySubscribersExceptLocked(g *membership.Group, change wire.MembershipChange, member wire.MemberInfo, except uint64) {
-	var frame []byte
+	var frame *transport.SharedFrame
 	for _, id := range g.Subscribers() {
 		if id == except {
 			continue
@@ -237,11 +241,15 @@ func (e *Engine) notifySubscribersExceptLocked(g *membership.Group, change wire.
 			continue
 		}
 		if frame == nil {
-			frame = transport.EncodeFrame(nil, &wire.MembershipNotify{
+			frame = transport.NewSharedFrame(&wire.MembershipNotify{
 				Group: g.Name, Change: change, Member: member, Count: uint32(g.Size()),
 			})
 		}
-		sess.sendFrame(frame)
+		frame.Retain()
+		sess.sendShared(frame, false)
+	}
+	if frame != nil {
+		frame.Release()
 	}
 }
 
@@ -262,8 +270,8 @@ func (e *Engine) handleLeave(s *Session, m *wire.Leave) {
 }
 
 func (e *Engine) handleGetMembership(s *Session, m *wire.GetMembership) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	g, ok := e.reg.Get(m.Group)
 	if !ok {
 		s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
@@ -273,14 +281,14 @@ func (e *Engine) handleGetMembership(s *Session, m *wire.GetMembership) {
 }
 
 func (e *Engine) handleListGroups(s *Session, m *wire.ListGroups) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	s.send(&wire.GroupList{RequestID: m.RequestID, Groups: e.reg.Names()})
 }
 
 func (e *Engine) handleBcast(s *Session, m *wire.Bcast) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 
 	g, ok := e.reg.Get(m.Group)
 	if !ok {
@@ -316,27 +324,44 @@ func (e *Engine) handleBcast(s *Session, m *wire.Bcast) {
 		return
 	}
 
+	// Sequence, apply, and fan out under the group's own mutex: bcasts
+	// into disjoint groups proceed in parallel, while this group's total
+	// order stays serialized.
+	gmu := e.groupMus[m.Group]
+	waitStart := time.Now()
+	gmu.Lock()
+	e.hLockWait.Record(time.Since(waitStart).Nanoseconds())
 	ev.Seq, ev.Time = e.seqr.Next(m.Group)
-	e.applyAndFanoutLocked(m.Group, g, ev, m.SenderInclusive)
-	s.send(&wire.BcastAck{RequestID: m.RequestID, Seq: ev.Seq})
+	ackDeferred := e.applyAndFanout(m.Group, g, ev, m.SenderInclusive, func() {
+		s.send(&wire.BcastAck{RequestID: m.RequestID, Seq: ev.Seq})
+	})
+	gmu.Unlock()
+	if !ackDeferred {
+		s.send(&wire.BcastAck{RequestID: m.RequestID, Seq: ev.Seq})
+	}
 }
 
-// applyAndFanoutLocked folds a sequenced event into the group state, logs
-// it, and enqueues the delivery for every local member (honouring
-// sender-exclusive). Caller holds e.mu.
-func (e *Engine) applyAndFanoutLocked(name string, g *membership.Group, ev wire.Event, senderInclusive bool) {
+// applyAndFanout folds a sequenced event into the group state, fans the
+// delivery out to every local member (honouring sender-exclusive) as one
+// pooled shared frame, and queues the event record for group commit. The
+// fanout runs in parallel with disk logging (paper §6): receivers may see
+// an event whose record a crash then loses — the paper accepts losing the
+// latest unflushed updates. When onDurable is non-nil and the engine defers
+// acknowledgement until durability (SyncAlways on a persistent group), the
+// callback is handed to the WAL group-commit writer and applyAndFanout
+// reports true; otherwise the caller acknowledges immediately.
+//
+// Caller holds e.mu (read mode suffices) and the group's mutex.
+func (e *Engine) applyAndFanout(name string, g *membership.Group, ev wire.Event, senderInclusive bool, onDurable func()) (ackDeferred bool) {
 	start := time.Now()
 	defer func() { e.hFanout.Record(time.Since(start).Nanoseconds()) }()
 	e.mBcasts.Inc()
-	if st := e.getState(name); st != nil {
+	st := e.getState(name)
+	if st != nil {
 		if err := st.Apply(ev); err != nil {
 			// A sequencing bug; log loudly but keep serving.
 			e.log.Error("apply failed", "group", name, "seq", ev.Seq, "err", err)
-			return
-		}
-		e.persistEvent(name, g.Persistent, ev)
-		if t := e.cfg.AutoReduceThreshold; t > 0 && st.HistoryLen() > t {
-			e.reduceLocked(name, g, st, 0)
+			return false
 		}
 	}
 
@@ -344,7 +369,7 @@ func (e *Engine) applyAndFanoutLocked(name string, g *membership.Group, ev wire.
 	if e.cfg.PriorityOf != nil {
 		high = e.cfg.PriorityOf(name) == PriorityHigh
 	}
-	var frame []byte
+	var frame *transport.SharedFrame
 	for _, id := range g.MemberIDs() {
 		if id == ev.Sender && !senderInclusive {
 			continue
@@ -354,11 +379,25 @@ func (e *Engine) applyAndFanoutLocked(name string, g *membership.Group, ev wire.
 			continue // member lives on another server of the cluster
 		}
 		if frame == nil {
-			frame = transport.EncodeFrame(nil, &wire.Deliver{Group: name, Event: ev})
+			frame = transport.NewSharedFrame(&wire.Deliver{Group: name, Event: ev})
 		}
-		sess.sendFramePriority(frame, high)
+		frame.Retain()
+		sess.sendShared(frame, high)
 		e.mDelivered.Inc()
 	}
+	if frame != nil {
+		frame.Release()
+	}
+
+	if st != nil {
+		ackDeferred = e.persistEvent(name, g.Persistent, ev, onDurable)
+		// The checkpoint record a reduction appends enters the commit
+		// queue after the event record above, preserving log order.
+		if t := e.cfg.AutoReduceThreshold; t > 0 && st.HistoryLen() > t {
+			e.reduceLocked(name, g, st, 0)
+		}
+	}
+	return ackDeferred
 }
 
 // ErrSeqGap reports that a distributed event skipped ahead of the replica's
@@ -373,12 +412,15 @@ var ErrSeqGap = errors.New("core: distributed event leaves a sequence gap")
 // replica's high-water mark are duplicates and are dropped silently (the
 // sender still gets its ack); events beyond it return ErrSeqGap.
 func (e *Engine) ApplyDistribute(group string, ev wire.Event, senderInclusive bool, reqID uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	g, ok := e.reg.Get(group)
 	if !ok {
 		return fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
 	}
+	gmu := e.groupMus[group]
+	gmu.Lock()
+	defer gmu.Unlock()
 	if st := e.getState(group); st != nil {
 		switch {
 		case ev.Seq < st.NextSeq():
@@ -389,13 +431,16 @@ func (e *Engine) ApplyDistribute(group string, ev wire.Event, senderInclusive bo
 		}
 	}
 	e.seqr.Observe(group, ev.Seq)
-	e.applyAndFanoutLocked(group, g, ev, senderInclusive)
+	// The replicated path acknowledges inline: the coordinator already
+	// ordered the event, and the paper's ack contract binds durability to
+	// the sender's own server only for the single-server SyncAlways path.
+	e.applyAndFanout(group, g, ev, senderInclusive, nil)
 	e.ackDistributedLocked(ev, reqID)
 	return nil
 }
 
 // ackDistributedLocked completes a local sender's pending BcastAck. Caller
-// holds e.mu.
+// holds e.mu (read mode suffices).
 func (e *Engine) ackDistributedLocked(ev wire.Event, reqID uint64) {
 	if reqID == 0 {
 		return
@@ -408,12 +453,15 @@ func (e *Engine) ackDistributedLocked(ev wire.Event, reqID uint64) {
 // ApplyEvents folds a caught-up event suffix into a replica (after an
 // ErrSeqGap fetch). Events already applied are skipped.
 func (e *Engine) ApplyEvents(group string, events []wire.Event) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	g, ok := e.reg.Get(group)
 	if !ok {
 		return fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
 	}
+	gmu := e.groupMus[group]
+	gmu.Lock()
+	defer gmu.Unlock()
 	st := e.getState(group)
 	if st == nil {
 		return nil
@@ -423,7 +471,7 @@ func (e *Engine) ApplyEvents(group string, events []wire.Event) error {
 			continue
 		}
 		e.seqr.Observe(group, ev.Seq)
-		e.applyAndFanoutLocked(group, g, ev, true)
+		e.applyAndFanout(group, g, ev, true, nil)
 	}
 	return nil
 }
@@ -474,8 +522,9 @@ func (e *Engine) handleReduceLog(s *Session, m *wire.ReduceLog) {
 	s.send(&wire.ReduceLogAck{RequestID: m.RequestID, BaseSeq: st.BaseSeq(), Trimmed: uint64(trimmed)})
 }
 
-// reduceLocked trims a group's history and persists the checkpoint. Caller
-// holds e.mu.
+// reduceLocked trims a group's history and queues the checkpoint record.
+// Caller holds either e.mu in write mode or the group's mutex (with e.mu
+// read-held) — both serialize against the group's multicasts.
 func (e *Engine) reduceLocked(name string, g *membership.Group, st *state.Group, upToSeq uint64) int {
 	trimmed := st.Reduce(upToSeq)
 	if trimmed > 0 {

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"corona/internal/state"
+	"corona/internal/wal"
 	"corona/internal/wire"
 )
 
@@ -133,10 +135,12 @@ func (e *Engine) recover() error {
 			}
 			e.states[group] = state.NewInitial(initial)
 			e.lowLSN[group] = lsn
+			e.groupMus[group] = new(sync.Mutex)
 		case recDelete:
 			_ = e.reg.Delete(group, wire.MemberInfo{})
 			delete(e.states, group)
 			delete(e.lowLSN, group)
+			delete(e.groupMus, group)
 			e.seqr.Drop(group)
 		case recEvent:
 			ev, err := decodeEventBody(d)
@@ -184,6 +188,9 @@ func (e *Engine) recover() error {
 			}
 			e.states[group] = st
 			e.lowLSN[group] = lsn
+			if _, ok := e.groupMus[group]; !ok {
+				e.groupMus[group] = new(sync.Mutex)
+			}
 		default:
 			return fmt.Errorf("core: unknown wal record tag %d at %d", tag, lsn)
 		}
@@ -199,75 +206,147 @@ func (e *Engine) finishRecover() {
 	}
 }
 
-// persistEvent logs one applied event for a persistent group. Caller holds
-// e.mu.
-func (e *Engine) persistEvent(group string, persistent bool, ev wire.Event) {
+// All persist* helpers queue their record with wal.AppendAsync; the WAL's
+// group-commit writer coalesces queued records into one buffered write and
+// fsync. Because every record type goes through the same queue, log order
+// equals enqueue order — a delete can never overtake the events of the
+// group it deletes, and a re-create lands after them. Append failures are
+// counted (engine.wal_append_errors, satellite of paper §6's durability
+// discussion) and logged, never propagated to the client: the paper accepts
+// losing the latest updates on a crash, so a lost record only weakens
+// recovery, not the live service.
+
+// persistEvent queues one applied event record of a persistent group for
+// group commit. With SyncAlways and a non-nil onDurable the acknowledgement
+// runs from the commit callback — i.e. after the batch's fsync — and
+// persistEvent reports true; under the relaxed policies durability is not
+// part of the ack contract and the caller acknowledges immediately. Caller
+// holds the group's mutex, so records enter the queue in apply order.
+func (e *Engine) persistEvent(group string, persistent bool, ev wire.Event, onDurable func()) bool {
 	if e.wal == nil || !persistent {
-		return
+		return false
 	}
-	if _, err := e.wal.Append(encodeEventRecord(group, ev)); err != nil {
+	deferAck := onDurable != nil && e.cfg.Sync == wal.SyncAlways
+	err := e.wal.AppendAsync(encodeEventRecord(group, ev), func(_ uint64, err error) {
+		if err != nil {
+			e.mWALErrors.Inc()
+			e.log.Error("wal append failed", "group", group, "err", err)
+		}
+		if deferAck {
+			// Acknowledge even on a failed append: the client's ack
+			// has never promised more than the sync policy delivers,
+			// and the error is surfaced via metrics and the log.
+			onDurable()
+		}
+	})
+	if err != nil {
+		e.mWALErrors.Inc()
 		e.log.Error("wal append failed", "group", group, "err", err)
+		return false
 	}
+	return deferAck
 }
 
-// persistCreate logs a persistent group's creation. Caller holds e.mu.
+// persistCreate queues a persistent group's creation record. The group's
+// low-water LSN is set from the commit callback; callbacks fire in LSN
+// order, so it is in place before any later checkpoint of the group can
+// trigger garbage collection. Caller holds e.mu in write mode.
 func (e *Engine) persistCreate(group string, persistent bool, initial []wire.Object) {
 	if e.wal == nil || !persistent {
 		return
 	}
-	lsn, err := e.wal.Append(encodeCreateRecord(group, initial))
+	err := e.wal.AppendAsync(encodeCreateRecord(group, initial), func(lsn uint64, err error) {
+		if err != nil {
+			e.mWALErrors.Inc()
+			e.log.Error("wal append failed", "group", group, "err", err)
+			return
+		}
+		e.setLowLSN(group, lsn)
+	})
 	if err != nil {
+		e.mWALErrors.Inc()
 		e.log.Error("wal append failed", "group", group, "err", err)
-		return
 	}
-	e.lowLSN[group] = lsn
 }
 
-// persistDelete logs a group deletion. Caller holds e.mu.
+// persistDelete queues a group deletion record. Caller holds e.mu in write
+// mode.
 func (e *Engine) persistDelete(group string) {
 	if e.wal == nil {
 		return
 	}
-	if _, err := e.wal.Append(encodeDeleteRecord(group)); err != nil {
+	err := e.wal.AppendAsync(encodeDeleteRecord(group), func(_ uint64, err error) {
+		if err != nil {
+			e.mWALErrors.Inc()
+			e.log.Error("wal append failed", "group", group, "err", err)
+		}
+	})
+	if err != nil {
+		e.mWALErrors.Inc()
 		e.log.Error("wal append failed", "group", group, "err", err)
 	}
 }
 
-// persistCheckpoint logs a checkpoint image and garbage-collects log
-// segments no group needs anymore. Caller holds e.mu.
+// persistCheckpoint queues a checkpoint image; the commit callback advances
+// the group's low-water LSN and garbage-collects log segments no group
+// needs anymore. The checkpoint is taken now, under the caller's lock, so
+// the image is consistent with the log position. Caller holds the group's
+// mutex (or e.mu in write mode).
 func (e *Engine) persistCheckpoint(group string, st *state.Group) {
 	if e.wal == nil {
 		return
 	}
-	lsn, err := e.wal.Append(encodeCheckpointRecord(group, st.Checkpoint()))
+	err := e.wal.AppendAsync(encodeCheckpointRecord(group, st.Checkpoint()), func(lsn uint64, err error) {
+		if err != nil {
+			e.mWALErrors.Inc()
+			e.log.Error("wal checkpoint failed", "group", group, "err", err)
+			return
+		}
+		if e.setLowLSN(group, lsn) {
+			e.gcWAL()
+		}
+	})
 	if err != nil {
+		e.mWALErrors.Inc()
 		e.log.Error("wal checkpoint failed", "group", group, "err", err)
-		return
 	}
-	e.lowLSN[group] = lsn
-	e.gcWALLocked()
 }
 
-// gcWALLocked drops log segments below the oldest record any persistent
-// group still needs. Caller holds e.mu.
-func (e *Engine) gcWALLocked() {
-	if e.wal == nil || len(e.lowLSN) == 0 {
+// setLowLSN records the oldest log record group still needs, unless the
+// group has been deleted in the meantime (a stale entry would pin garbage
+// collection forever). Runs on the WAL committer goroutine.
+func (e *Engine) setLowLSN(group string, lsn uint64) bool {
+	e.mu.RLock()
+	_, live := e.reg.Get(group)
+	e.mu.RUnlock()
+	if !live {
+		return false
+	}
+	e.lsnMu.Lock()
+	e.lowLSN[group] = lsn
+	e.lsnMu.Unlock()
+	return true
+}
+
+// gcWAL drops log segments below the oldest record any persistent group
+// still needs. Safe from any goroutine; lowLSN is guarded by lsnMu.
+func (e *Engine) gcWAL() {
+	if e.wal == nil {
 		return
 	}
-	min := e.lowLSN[firstKey(e.lowLSN)]
+	e.lsnMu.Lock()
+	var min uint64
+	first := true
 	for _, lsn := range e.lowLSN {
-		if lsn < min {
-			min = lsn
+		if first || lsn < min {
+			min, first = lsn, false
 		}
+	}
+	e.lsnMu.Unlock()
+	if first {
+		return
 	}
 	if err := e.wal.TruncateBefore(min); err != nil {
 		e.log.Error("wal truncate failed", "err", err)
 	}
-}
-
-func firstKey(m map[string]uint64) string {
-	for k := range m {
-		return k
-	}
-	return ""
 }

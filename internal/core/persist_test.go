@@ -25,16 +25,19 @@ func newDiskEngine(t *testing.T, dir string) *Engine {
 
 func applyLocal(t *testing.T, e *Engine, group string, n int, data string) {
 	t.Helper()
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	g, ok := e.reg.Get(group)
 	if !ok {
 		t.Fatal("group missing")
 	}
+	gmu := e.groupMus[group]
+	gmu.Lock()
+	defer gmu.Unlock()
 	for i := 0; i < n; i++ {
 		ev := wire.Event{Kind: wire.EventUpdate, ObjectID: "o", Data: []byte(data)}
 		ev.Seq, ev.Time = e.seqr.Next(group)
-		e.applyAndFanoutLocked(group, g, ev, true)
+		e.applyAndFanout(group, g, ev, true, nil)
 	}
 }
 
@@ -168,6 +171,9 @@ func TestWALGCAfterCheckpoints(t *testing.T) {
 	}
 	// Enough data to roll several 4 KiB segments.
 	applyLocal(t, e, "g", 200, string(make([]byte, 200)))
+	if err := e.wal.Barrier(); err != nil {
+		t.Fatal(err)
+	}
 	segsBefore := e.wal.SegmentCount()
 	if segsBefore < 3 {
 		t.Fatalf("need multiple segments, got %d", segsBefore)
@@ -177,6 +183,11 @@ func TestWALGCAfterCheckpoints(t *testing.T) {
 	st := e.getState("g")
 	e.reduceLocked("g", g, st, 0)
 	e.mu.Unlock()
+	// The checkpoint record and the garbage collection its commit callback
+	// runs are asynchronous; the barrier returns after both.
+	if err := e.wal.Barrier(); err != nil {
+		t.Fatal(err)
+	}
 	if segsAfter := e.wal.SegmentCount(); segsAfter >= segsBefore {
 		t.Fatalf("GC did not reclaim segments: %d -> %d", segsBefore, segsAfter)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 
 	"corona/internal/locks"
@@ -109,11 +110,16 @@ func (e *Engine) dropGroupLocked(name string) {
 	e.metrics.Event("core", "group "+name+" dropped")
 }
 
-// cleanupGroupLocked discards a group's state, sequence counter, locks, and
-// logs the deletion; the registry entry is already gone. Caller holds e.mu.
+// cleanupGroupLocked discards a group's state, mutex, sequence counter,
+// locks, and logs the deletion; the registry entry is already gone. Caller
+// holds e.mu in write mode, which excludes any multicast still holding the
+// group's mutex.
 func (e *Engine) cleanupGroupLocked(name string) {
 	delete(e.states, name)
+	delete(e.groupMus, name)
+	e.lsnMu.Lock()
 	delete(e.lowLSN, name)
+	e.lsnMu.Unlock()
 	e.seqr.Drop(name)
 	orphans := e.locks.DropGroup(name)
 	for _, o := range orphans {
@@ -140,7 +146,7 @@ func (e *Engine) notifySubscribersLocked(g *membership.Group, change wire.Member
 	if len(subs) == 0 {
 		return
 	}
-	frame := transport.EncodeFrame(nil, &wire.MembershipNotify{
+	frame := transport.NewSharedFrame(&wire.MembershipNotify{
 		Group:  g.Name,
 		Change: change,
 		Member: member,
@@ -148,48 +154,54 @@ func (e *Engine) notifySubscribersLocked(g *membership.Group, change wire.Member
 	})
 	for _, id := range subs {
 		if s, ok := e.sessions[id]; ok {
-			s.sendFrame(frame)
+			frame.Retain()
+			s.sendShared(frame, false)
 		}
 	}
+	frame.Release()
 }
 
 // NotifyMembership pushes a membership change originating on another server
 // of a replicated service to this server's local subscribers.
 func (e *Engine) NotifyMembership(group string, change wire.MembershipChange, member wire.MemberInfo, count uint32) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	g, ok := e.reg.Get(group)
 	if !ok {
 		return
 	}
-	frame := transport.EncodeFrame(nil, &wire.MembershipNotify{
+	frame := transport.NewSharedFrame(&wire.MembershipNotify{
 		Group: group, Change: change, Member: member, Count: count,
 	})
 	for _, id := range g.Subscribers() {
 		if s, ok := e.sessions[id]; ok {
-			s.sendFrame(frame)
+			frame.Retain()
+			s.sendShared(frame, false)
 		}
 	}
+	frame.Release()
 }
 
 // Send marshals and enqueues one message for the client. Failures close
 // the session asynchronously. The replicated frontend uses it to answer
 // intercepted requests.
 func (s *Session) Send(msg wire.Message) {
-	s.sendFrame(transport.EncodeFrame(nil, msg))
+	f := transport.NewSharedFrame(msg)
+	s.sendShared(f, false)
 }
 
 // send is the package-internal alias of Send.
 func (s *Session) send(msg wire.Message) { s.Send(msg) }
 
-// sendFrame enqueues a pre-encoded frame for the client.
-func (s *Session) sendFrame(frame []byte) {
-	s.sendFramePriority(frame, false)
-}
-
-// sendFramePriority enqueues a frame on the selected priority lane.
-func (s *Session) sendFramePriority(frame []byte, high bool) {
-	if err := s.pump.SendPriority(frame, high); err != nil {
+// sendShared enqueues a pooled frame, consuming one of its references even
+// on failure. A closed pump is a no-op: deferred WAL acknowledgements can
+// race session teardown, and "client already gone" is not a new failure.
+func (s *Session) sendShared(f *transport.SharedFrame, high bool) {
+	if err := s.pump.SendShared(f, high); err != nil {
+		f.Release()
+		if errors.Is(err, transport.ErrPumpClosed) {
+			return
+		}
 		go s.engine.failSession(s, err)
 	}
 }

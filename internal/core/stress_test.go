@@ -1,0 +1,223 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/core"
+	"corona/internal/wal"
+	"corona/internal/wire"
+)
+
+// stressEvent is one recorded delivery: the group sequence number plus the
+// (sender, counter) pair carried in the payload.
+type stressEvent struct {
+	seq     uint64
+	sender  uint64
+	counter uint64
+}
+
+// streamRecorder records one group's deliveries to one client.
+type streamRecorder struct {
+	group string
+	mu    sync.Mutex
+	evs   []stressEvent
+}
+
+func (r *streamRecorder) onEvent(group string, ev wire.Event) {
+	if group != r.group {
+		return
+	}
+	se := stressEvent{seq: ev.Seq}
+	if len(ev.Data) == 16 {
+		se.sender = binary.BigEndian.Uint64(ev.Data[0:8])
+		se.counter = binary.BigEndian.Uint64(ev.Data[8:16])
+	}
+	r.mu.Lock()
+	r.evs = append(r.evs, se)
+	r.mu.Unlock()
+}
+
+func (r *streamRecorder) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.evs)
+}
+
+func (r *streamRecorder) snapshot() []stressEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]stressEvent(nil), r.evs...)
+}
+
+func blastGroup(g int) string { return fmt.Sprintf("blast-%d", g) }
+
+// TestStressParallelMulticastInvariants drives concurrent multicasts into
+// disjoint persistent groups while other clients churn memberships and
+// whole groups, then audits the ordering contract at every receiver:
+//
+//   - per-group gapless total order: a member joined for the whole run sees
+//     every sequence number from its first delivery on, exactly once, in
+//     order;
+//   - per-sender FIFO: each sender's payload counters appear in send order;
+//   - agreement: all steady receivers of a group saw the identical stream.
+//
+// Run it under -race: the sharded engine's whole point is that these
+// guarantees survive groups being sequenced in parallel with registry
+// churn and asynchronous WAL commits.
+func TestStressParallelMulticastInvariants(t *testing.T) {
+	const (
+		groups     = 4
+		members    = 2 // per group; every member both sends and receives
+		perSender  = 150
+		churnIters = 40
+	)
+	msgsPerGroup := members * perSender
+
+	srv := startServer(t, core.Config{Engine: core.EngineConfig{
+		Dir:  t.TempDir(),
+		Sync: wal.SyncInterval,
+	}})
+	addr := srv.Addr().String()
+
+	recorders := make([][]*streamRecorder, groups)
+	clients := make([][]*client.Client, groups)
+	for g := 0; g < groups; g++ {
+		for i := 0; i < members; i++ {
+			rec := &streamRecorder{group: blastGroup(g)}
+			c, err := client.Dial(client.Config{
+				Addr: addr, Name: fmt.Sprintf("m-%d-%d", g, i),
+				OnEvent: rec.onEvent,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			recorders[g] = append(recorders[g], rec)
+			clients[g] = append(clients[g], c)
+		}
+	}
+
+	// Create the groups (persistent, so the async WAL path runs) and join
+	// every member before any sender starts: from then on each member must
+	// see the complete stream.
+	for g := 0; g < groups; g++ {
+		if err := clients[g][0].CreateGroup(blastGroup(g), true, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range clients[g] {
+			if _, err := c.Join(blastGroup(g), client.JoinOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+
+	// Senders: sender-inclusive, so every client audits its own FIFO too.
+	// The payload carries (senderID, counter).
+	for g := 0; g < groups; g++ {
+		for i := 0; i < members; i++ {
+			wg.Add(1)
+			go func(g, i int) {
+				defer wg.Done()
+				c := clients[g][i]
+				payload := make([]byte, 16)
+				binary.BigEndian.PutUint64(payload[0:8], c.ID())
+				for n := uint64(1); n <= perSender; n++ {
+					binary.BigEndian.PutUint64(payload[8:16], n)
+					if _, err := c.BcastState(blastGroup(g), "o", payload, true); err != nil {
+						t.Errorf("bcast group %d sender %d: %v", g, i, err)
+						return
+					}
+				}
+			}(g, i)
+		}
+	}
+
+	// Churn: create/delete throwaway groups and join/leave the blast
+	// groups, racing the multicast hot path (engine read lock + group
+	// mutex) against registry writes (engine write lock).
+	for lane := 0; lane < 2; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			c := dial(t, addr, fmt.Sprintf("churn-%d", lane), nil)
+			for n := 0; n < churnIters; n++ {
+				tmp := fmt.Sprintf("churn-%d-%d", lane, n)
+				if err := c.CreateGroup(tmp, false, nil); err != nil {
+					t.Errorf("churn create: %v", err)
+					return
+				}
+				if _, err := c.Join(tmp, client.JoinOptions{}); err != nil {
+					t.Errorf("churn join: %v", err)
+					return
+				}
+				blast := blastGroup(n % groups)
+				if _, err := c.Join(blast, client.JoinOptions{}); err != nil {
+					t.Errorf("churn join blast: %v", err)
+					return
+				}
+				if err := c.Leave(blast); err != nil {
+					t.Errorf("churn leave blast: %v", err)
+					return
+				}
+				if err := c.DeleteGroup(tmp); err != nil {
+					t.Errorf("churn delete: %v", err)
+					return
+				}
+			}
+		}(lane)
+	}
+
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every steady receiver must end up with the full stream; deliveries
+	// may still be in flight behind the acks, so poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for g := 0; g < groups; g++ {
+		for _, rec := range recorders[g] {
+			for rec.len() < msgsPerGroup {
+				if time.Now().After(deadline) {
+					t.Fatalf("group %d: receiver has %d/%d events", g, rec.len(), msgsPerGroup)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+
+	for g := 0; g < groups; g++ {
+		ref := recorders[g][0].snapshot()
+		for ri, rec := range recorders[g] {
+			evs := rec.snapshot()
+			if len(evs) != msgsPerGroup {
+				t.Fatalf("group %d receiver %d: got %d events, want %d", g, ri, len(evs), msgsPerGroup)
+			}
+			for i := 1; i < len(evs); i++ {
+				if evs[i].seq != evs[i-1].seq+1 {
+					t.Fatalf("group %d receiver %d: seq gap %d -> %d at %d", g, ri, evs[i-1].seq, evs[i].seq, i)
+				}
+			}
+			last := make(map[uint64]uint64)
+			for i, ev := range evs {
+				if ev.counter != last[ev.sender]+1 {
+					t.Fatalf("group %d receiver %d: sender %d counter %d after %d at %d",
+						g, ri, ev.sender, ev.counter, last[ev.sender], i)
+				}
+				last[ev.sender] = ev.counter
+			}
+			for i := range evs {
+				if evs[i] != ref[i] {
+					t.Fatalf("group %d receiver %d: event %d = %+v, receiver 0 saw %+v", g, ri, i, evs[i], ref[i])
+				}
+			}
+		}
+	}
+}

@@ -4,9 +4,10 @@
 // lists used to push membership changes to interested members.
 //
 // The registry is not self-synchronizing: the owning server serializes
-// access (a single coarse lock in the server keeps the ordering semantics
-// trivial to reason about, and the paper's evaluation shows the server is
-// network-bound, not lock-bound).
+// access. The engine holds its registry lock in read mode on the multicast
+// hot path and in write mode for every membership mutation, so registry
+// code can assume it never races itself; per-group ordering is the
+// engine's per-group mutex, not the registry's concern.
 package membership
 
 import (

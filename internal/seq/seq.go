@@ -5,12 +5,19 @@
 // server, or the coordinator of a replicated service) the total order is
 // also causal, and per-sender FIFO follows from per-connection FIFO.
 //
-// The sequencer is not self-synchronizing; the owning server serializes
-// access.
+// The sequencer is self-synchronizing: the group table is guarded by a
+// short RWMutex and each group's counter is a single atomic word, so
+// disjoint groups assign sequence numbers in parallel without sharing a
+// lock. Callers that need assignment to be atomic with respect to applying
+// the event (the engine's per-group total order) serialize Next under their
+// own per-group lock; the sequencer's internal synchronization only makes
+// cross-group and recovery-path access safe.
 package seq
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"corona/internal/obs"
@@ -23,14 +30,15 @@ var seqAssigned = obs.Default.Counter("seq.assigned")
 
 type groupState struct {
 	// next is the sequence number the group's next event gets.
-	next uint64
+	next atomic.Uint64
 	// assigned counts assignments for this group; the pointer is
-	// resolved once so Next stays a map lookup plus an atomic add.
+	// resolved once so Next stays a map lookup plus atomic adds.
 	assigned *obs.Counter
 }
 
 // Sequencer assigns sequence numbers and server timestamps per group.
 type Sequencer struct {
+	mu     sync.RWMutex
 	groups map[string]*groupState
 	now    func() time.Time
 }
@@ -46,9 +54,17 @@ func New(now func() time.Time) *Sequencer {
 func groupCounterName(group string) string { return "seq.assigned." + group }
 
 func (s *Sequencer) state(group string) *groupState {
-	g, ok := s.groups[group]
-	if !ok {
-		g = &groupState{next: 1, assigned: obs.Default.Counter(groupCounterName(group))}
+	s.mu.RLock()
+	g := s.groups[group]
+	s.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g = s.groups[group]; g == nil {
+		g = &groupState{assigned: obs.Default.Counter(groupCounterName(group))}
+		g.next.Store(1)
 		s.groups[group] = g
 	}
 	return g
@@ -58,8 +74,7 @@ func (s *Sequencer) state(group string) *groupState {
 // (Unix nanoseconds). The first event of a group gets sequence 1.
 func (s *Sequencer) Next(group string) (seqNo uint64, timestamp int64) {
 	g := s.state(group)
-	n := g.next
-	g.next = n + 1
+	n := g.next.Add(1) - 1
 	g.assigned.Inc()
 	seqAssigned.Inc()
 	return n, s.now().UnixNano()
@@ -68,8 +83,11 @@ func (s *Sequencer) Next(group string) (seqNo uint64, timestamp int64) {
 // Peek returns the sequence number the next event of group would get,
 // without consuming it.
 func (s *Sequencer) Peek(group string) uint64 {
-	if g, ok := s.groups[group]; ok {
-		return g.next
+	s.mu.RLock()
+	g := s.groups[group]
+	s.mu.RUnlock()
+	if g != nil {
+		return g.next.Load()
 	}
 	return 1
 }
@@ -79,13 +97,18 @@ func (s *Sequencer) Peek(group string) uint64 {
 // folding in the high-water marks reported by the surviving servers.
 func (s *Sequencer) Observe(group string, seqNo uint64) {
 	g := s.state(group)
-	if seqNo+1 > g.next {
-		g.next = seqNo + 1
+	for {
+		cur := g.next.Load()
+		if seqNo+1 <= cur || g.next.CompareAndSwap(cur, seqNo+1) {
+			return
+		}
 	}
 }
 
 // Drop forgets a deleted group's counter and unregisters its instrument.
 func (s *Sequencer) Drop(group string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.groups[group]; ok {
 		delete(s.groups, group)
 		obs.Default.Remove(groupCounterName(group))
@@ -94,6 +117,8 @@ func (s *Sequencer) Drop(group string) {
 
 // Groups returns the tracked group names, sorted.
 func (s *Sequencer) Groups() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.groups))
 	for g := range s.groups {
 		out = append(out, g)

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"corona/internal/wire"
+)
+
+// maxPooledFrame caps the encoded size of buffers returned to the frame
+// pool. Occasional jumbo frames (near wire.MaxFrame) would otherwise pin
+// megabytes per pool slot forever.
+const maxPooledFrame = 128 << 10
+
+var framePool = sync.Pool{New: func() any { return new(SharedFrame) }}
+
+// SharedFrame is a pooled, reference-counted encoded frame. The multicast
+// fanout encodes a Deliver once and enqueues the same frame on every
+// member's pump; the buffer returns to the pool when the last pump has
+// written (or discarded) it, so steady-state fanout allocates nothing.
+//
+// Ownership: NewSharedFrame returns a frame holding one reference. Each
+// successful Pump.SendShared transfers one reference to the pump (Retain
+// before enqueueing when sharing across pumps); the pump releases it after
+// the frame is written or dropped. Release the creator's reference when
+// done enqueueing. A released frame must not be touched again.
+type SharedFrame struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+// NewSharedFrame encodes msg into a pooled frame with one reference.
+func NewSharedFrame(msg wire.Message) *SharedFrame {
+	f := framePool.Get().(*SharedFrame)
+	f.buf = appendFrame(f.buf[:0], msg)
+	f.refs.Store(1)
+	return f
+}
+
+// Retain adds one reference, one per additional pump the frame will be
+// enqueued on.
+func (f *SharedFrame) Retain() { f.refs.Add(1) }
+
+// Release drops one reference, returning the frame to the pool when the
+// count reaches zero.
+func (f *SharedFrame) Release() {
+	switch n := f.refs.Add(-1); {
+	case n == 0:
+		if cap(f.buf) > maxPooledFrame {
+			f.buf = nil
+		}
+		framePool.Put(f)
+	case n < 0:
+		panic("transport: SharedFrame over-released")
+	}
+}
+
+// Bytes returns the encoded frame. Valid until the last Release.
+func (f *SharedFrame) Bytes() []byte { return f.buf }

@@ -11,6 +11,26 @@ import (
 // server gives up on it.
 const DefaultPumpDepth = 1024
 
+// pumpItem is one queued frame: either a caller-owned raw slice or a
+// reference-counted pooled frame that the pump releases once written.
+type pumpItem struct {
+	raw    []byte
+	shared *SharedFrame
+}
+
+func (it pumpItem) bytes() []byte {
+	if it.shared != nil {
+		return it.shared.Bytes()
+	}
+	return it.raw
+}
+
+func (it pumpItem) release() {
+	if it.shared != nil {
+		it.shared.Release()
+	}
+}
+
 // Pump asynchronously writes frames to a connection through a bounded
 // queue. A server creates one Pump per client so that fanning a multicast
 // out to N members costs one non-blocking enqueue per member, and a stalled
@@ -20,12 +40,12 @@ const DefaultPumpDepth = 1024
 // preserves the total order the sequencer established.
 type Pump struct {
 	conn *Conn
-	ch   chan []byte
+	ch   chan pumpItem
 	// hi is the priority lane (see SendPriority): the writer drains it
 	// before the normal lane, so traffic of high-priority groups
 	// overtakes queued bulk traffic on the same connection. This is the
 	// scheduling half of the paper's QoS-adaptive server (§5.3).
-	hi chan []byte
+	hi chan pumpItem
 
 	mu     sync.Mutex
 	closed bool
@@ -46,8 +66,8 @@ func NewPump(conn *Conn, depth int) *Pump {
 	}
 	p := &Pump{
 		conn: conn,
-		ch:   make(chan []byte, depth),
-		hi:   make(chan []byte, hiDepth),
+		ch:   make(chan pumpItem, depth),
+		hi:   make(chan pumpItem, hiDepth),
 		done: make(chan struct{}),
 	}
 	go p.run()
@@ -59,17 +79,24 @@ func NewPump(conn *Conn, depth int) *Pump {
 // treat the receiver as failed. The frame must not be modified after Send
 // returns nil.
 func (p *Pump) Send(frame []byte) error {
-	return p.enqueue(frame, false)
+	return p.enqueue(pumpItem{raw: frame}, false)
 }
 
 // SendPriority enqueues a frame on the requested lane. High-priority
 // frames are written before any queued normal-lane frames. Ordering within
 // a lane is preserved; cross-lane ordering intentionally is not.
 func (p *Pump) SendPriority(frame []byte, high bool) error {
-	return p.enqueue(frame, high)
+	return p.enqueue(pumpItem{raw: frame}, high)
 }
 
-func (p *Pump) enqueue(frame []byte, high bool) error {
+// SendShared enqueues a pooled frame. On success the pump owns one of the
+// frame's references and releases it after the write; on error the caller
+// keeps its reference and must release it.
+func (p *Pump) SendShared(f *SharedFrame, high bool) error {
+	return p.enqueue(pumpItem{shared: f}, high)
+}
+
+func (p *Pump) enqueue(it pumpItem, high bool) error {
 	// The enqueue happens under the mutex so it cannot race a concurrent
 	// close of the channel; the select never blocks, so the critical
 	// section stays short.
@@ -86,7 +113,7 @@ func (p *Pump) enqueue(frame []byte, high bool) error {
 		ch = p.hi
 	}
 	select {
-	case ch <- frame:
+	case ch <- it:
 		pumpEnqueued.Inc()
 		pumpDepth.Add(1)
 		return nil
@@ -129,13 +156,13 @@ func (p *Pump) run() {
 		// The priority lane is drained first whenever it has frames.
 		if hi != nil {
 			select {
-			case frame, ok := <-hi:
+			case it, ok := <-hi:
 				if !ok {
 					hi = nil
 					continue
 				}
 				pumpDepth.Add(-1)
-				if !p.writeOne(frame) {
+				if !p.writeOne(it) {
 					return
 				}
 				continue
@@ -143,22 +170,22 @@ func (p *Pump) run() {
 			}
 		}
 		select {
-		case frame, ok := <-hi: // blocks forever once hi is nil
+		case it, ok := <-hi: // blocks forever once hi is nil
 			if !ok {
 				hi = nil
 				continue
 			}
 			pumpDepth.Add(-1)
-			if !p.writeOne(frame) {
+			if !p.writeOne(it) {
 				return
 			}
-		case frame, ok := <-normal:
+		case it, ok := <-normal:
 			if !ok {
 				normal = nil
 				continue
 			}
 			pumpDepth.Add(-1)
-			if !p.writeOne(frame) {
+			if !p.writeOne(it) {
 				return
 			}
 		}
@@ -168,8 +195,10 @@ func (p *Pump) run() {
 
 // writeOne writes a frame, flushing when both lanes have momentarily gone
 // empty so bursts share one syscall. It reports false after a write error.
-func (p *Pump) writeOne(frame []byte) bool {
-	if err := p.conn.writeFrameNoFlush(frame); err != nil {
+func (p *Pump) writeOne(it pumpItem) bool {
+	err := p.conn.writeFrameNoFlush(it.bytes())
+	it.release()
+	if err != nil {
 		p.fail(err)
 		return false
 	}
@@ -196,10 +225,12 @@ func (p *Pump) fail(err error) {
 		close(p.hi)
 	}
 	p.mu.Unlock()
-	for range p.ch { // discard
+	for it := range p.ch { // discard
+		it.release()
 		pumpDepth.Add(-1)
 	}
-	for range p.hi {
+	for it := range p.hi {
+		it.release()
 		pumpDepth.Add(-1)
 	}
 }

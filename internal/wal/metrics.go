@@ -14,4 +14,13 @@ var (
 	// walSegments tracks live on-disk segments (including each log's
 	// active segment) summed over all open logs.
 	walSegments = obs.Default.Gauge("wal.segments")
+
+	// Group-commit instruments: how many batches the committer wrote and
+	// how many records each coalesced (batch size 1 means no concurrent
+	// appender was waiting — the fsync amortized over nothing).
+	walBatchCommits = obs.Default.Counter("wal.batch_commits")
+	walBatchRecords = obs.Default.Histogram("wal.batch_records")
+	// walAppendErrors counts records whose commit failed (write, fsync,
+	// or roll error, or a batch aborted by Close).
+	walAppendErrors = obs.Default.Counter("wal.append_errors")
 )

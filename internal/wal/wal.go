@@ -110,8 +110,34 @@ type Log struct {
 	closed   bool
 	needSync bool
 
+	// fsyncHook replaces the file fsync when non-nil — a test seam for
+	// injecting durability failures into a commit batch.
+	fsyncHook func() error
+
+	// Group commit: AppendAsync queues records here; the committer
+	// goroutine drains the queue, writes the whole batch under mu, fsyncs
+	// once (SyncAlways), and invokes the completion callbacks in LSN
+	// order. One fsync is amortized over every record that arrived while
+	// the previous batch was committing.
+	pendMu     sync.Mutex
+	pending    []pendingAppend
+	pendClosed bool
+	pendSig    chan struct{}
+	commitDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+
 	stop chan struct{}
 	done chan struct{}
+}
+
+// pendingAppend is one queued AppendAsync, or a Barrier marker (no record
+// is written for a barrier; its callback just marks a queue position).
+type pendingAppend struct {
+	payload []byte
+	barrier bool
+	done    func(lsn uint64, err error)
 }
 
 // Open opens (creating if necessary) the log in opts.Dir and recovers its
@@ -127,11 +153,18 @@ func Open(opts Options) (*Log, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	l := &Log{
+		opts:       opts,
+		pendSig:    make(chan struct{}, 1),
+		commitDone: make(chan struct{}),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
 	if err := l.load(); err != nil {
 		return nil, err
 	}
 	walSegments.Add(int64(len(l.segments)) + 1)
+	go l.commitLoop()
 	if opts.Sync == SyncInterval {
 		go l.syncLoop()
 	} else {
@@ -285,6 +318,27 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	lsn, err := l.writeRecordLocked(payload)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.size >= l.opts.SegmentSize {
+		if err := l.roll(); err != nil {
+			return 0, err
+		}
+	}
+	walAppendNs.Record(time.Since(start).Nanoseconds())
+	return lsn, nil
+}
+
+// writeRecordLocked buffers one record and assigns its LSN. Caller holds
+// l.mu.
+func (l *Log) writeRecordLocked(payload []byte) (uint64, error) {
 	var hdr [recHdr]byte
 	binary.BigEndian.PutUint32(hdr[0:4], crc32.Checksum(payload, crcTable))
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
@@ -299,21 +353,138 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.active.count++
 	l.size += recHdr + int64(len(payload))
 	l.needSync = true
-
-	if l.opts.Sync == SyncAlways {
-		if err := l.syncLocked(); err != nil {
-			return 0, err
-		}
-	}
-	if l.size >= l.opts.SegmentSize {
-		if err := l.roll(); err != nil {
-			return 0, err
-		}
-	}
 	walAppends.Inc()
 	walAppendBytes.Add(uint64(len(payload)))
-	walAppendNs.Record(time.Since(start).Nanoseconds())
 	return lsn, nil
+}
+
+// AppendAsync queues one record for group commit and returns immediately.
+// The committer goroutine coalesces every record queued by concurrent
+// appenders into a single buffered write and — under SyncAlways — a single
+// fsync, then invokes done(lsn, err). Callbacks are invoked in LSN order,
+// from the committer goroutine, so they must not block; err is non-nil for
+// every record of a failed batch. A nil done discards the completion.
+//
+// Records queued by one goroutine (or under one lock) are committed in
+// queue order, so per-group WAL order matches apply order when the engine
+// appends under the group's lock.
+func (l *Log) AppendAsync(payload []byte, done func(lsn uint64, err error)) error {
+	if len(payload) > MaxRecordSize {
+		return ErrRecordTooLarge
+	}
+	l.pendMu.Lock()
+	if l.pendClosed {
+		l.pendMu.Unlock()
+		return ErrClosed
+	}
+	l.pending = append(l.pending, pendingAppend{payload: payload, done: done})
+	l.pendMu.Unlock()
+	select {
+	case l.pendSig <- struct{}{}:
+	default: // a wakeup is already queued
+	}
+	return nil
+}
+
+// Barrier blocks until every record queued by AppendAsync before the call
+// has been committed — written, and fsynced under SyncAlways — and its
+// completion callback has returned. It returns the error, if any, of the
+// batch it rode in. Barrier does not force an fsync the sync policy would
+// not have issued.
+func (l *Log) Barrier() error {
+	ch := make(chan error, 1)
+	l.pendMu.Lock()
+	if l.pendClosed {
+		l.pendMu.Unlock()
+		return ErrClosed
+	}
+	l.pending = append(l.pending, pendingAppend{barrier: true, done: func(_ uint64, err error) { ch <- err }})
+	l.pendMu.Unlock()
+	select {
+	case l.pendSig <- struct{}{}:
+	default:
+	}
+	return <-ch
+}
+
+// takePending swaps out the queued batch.
+func (l *Log) takePending() []pendingAppend {
+	l.pendMu.Lock()
+	batch := l.pending
+	l.pending = nil
+	l.pendMu.Unlock()
+	return batch
+}
+
+// commitLoop is the group-commit writer: it drains the pending queue and
+// commits each batch with one buffered write and at most one fsync.
+func (l *Log) commitLoop() {
+	defer close(l.commitDone)
+	for {
+		select {
+		case <-l.pendSig:
+			l.commitBatch(l.takePending())
+		case <-l.stop:
+			// Drain whatever arrived before the queue was closed.
+			l.commitBatch(l.takePending())
+			return
+		}
+	}
+}
+
+// commitBatch writes a batch under one lock acquisition, fsyncs once when
+// the policy demands durability, and completes every waiter in LSN order.
+// On the first write error the remaining records are not written and every
+// waiter in the batch — including those already buffered — receives the
+// error, because the batch's durability is unknown as a whole.
+func (l *Log) commitBatch(batch []pendingAppend) {
+	if len(batch) == 0 {
+		return
+	}
+	start := time.Now()
+	lsns := make([]uint64, len(batch))
+	records := 0
+	var firstErr error
+	l.mu.Lock()
+	if l.closed {
+		firstErr = ErrClosed
+	} else {
+		for i, p := range batch {
+			if p.barrier {
+				continue
+			}
+			lsn, err := l.writeRecordLocked(p.payload)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			lsns[i] = lsn
+			records++
+			if l.size >= l.opts.SegmentSize {
+				if err := l.roll(); err != nil {
+					firstErr = err
+					break
+				}
+			}
+		}
+		if firstErr == nil && l.opts.Sync == SyncAlways {
+			firstErr = l.syncLocked()
+		}
+	}
+	l.mu.Unlock()
+	if records > 0 || firstErr != nil {
+		if firstErr != nil {
+			walAppendErrors.Add(uint64(len(batch)))
+		}
+		walBatchCommits.Inc()
+		walBatchRecords.Record(int64(records))
+		walAppendNs.Record(time.Since(start).Nanoseconds())
+	}
+	for i, p := range batch {
+		if p.done != nil {
+			p.done(lsns[i], firstErr)
+		}
+	}
 }
 
 // Sync flushes buffered records and fsyncs the active segment.
@@ -334,7 +505,11 @@ func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
+	fsync := l.f.Sync
+	if l.fsyncHook != nil {
+		fsync = l.fsyncHook
+	}
+	if err := fsync(); err != nil {
 		return err
 	}
 	l.needSync = false
@@ -492,28 +667,35 @@ func (l *Log) SegmentCount() int {
 	return len(l.segments) + 1
 }
 
-// Close flushes, fsyncs, and closes the log.
+// Close commits any queued async appends, then flushes, fsyncs, and closes
+// the log. Safe to call more than once.
 func (l *Log) Close() error {
-	l.mu.Lock()
-	if l.closed {
+	l.closeOnce.Do(func() {
+		// Stop accepting async appends, then let the committer drain
+		// the queue (completing its callbacks) before the file closes.
+		l.pendMu.Lock()
+		l.pendClosed = true
+		l.pendMu.Unlock()
+		close(l.stop)
+		<-l.commitDone
+		<-l.done
+
+		l.mu.Lock()
+		l.closed = true
+		flushErr := l.w.Flush()
+		syncErr := l.f.Sync()
+		closeErr := l.f.Close()
+		walSegments.Add(-int64(len(l.segments)) - 1)
 		l.mu.Unlock()
-		return nil
-	}
-	l.closed = true
-	flushErr := l.w.Flush()
-	syncErr := l.f.Sync()
-	closeErr := l.f.Close()
-	walSegments.Add(-int64(len(l.segments)) - 1)
-	l.mu.Unlock()
 
-	close(l.stop)
-	<-l.done
-
-	if flushErr != nil {
-		return flushErr
-	}
-	if syncErr != nil {
-		return syncErr
-	}
-	return closeErr
+		switch {
+		case flushErr != nil:
+			l.closeErr = flushErr
+		case syncErr != nil:
+			l.closeErr = syncErr
+		default:
+			l.closeErr = closeErr
+		}
+	})
+	return l.closeErr
 }

@@ -26,4 +26,10 @@ go build ./...
 echo "== go test -race -short"
 go test -race -short ./...
 
+echo "== bench smoke (compile + one iteration)"
+go test -run NONE -bench . -benchtime 1x ./... >/dev/null
+
+echo "== multigroup smoke"
+go run ./cmd/corona-bench -experiment multigroup -groups 1,2 -per-group 1 -duration 200ms >/dev/null
+
 echo "OK"
