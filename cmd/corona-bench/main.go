@@ -49,11 +49,17 @@ func run(args []string) error {
 		groups     = fs.String("groups", "", "comma-separated group counts for multigroup (default 1,2,4,8)")
 		perGroup   = fs.Int("per-group", 2, "blasting clients per group for multigroup")
 		dataDir    = fs.String("dir", "", "stable-storage directory (default: a temp dir)")
+		maxProcs   = fs.Int("gomaxprocs", 0, "GOMAXPROCS for the benchmark process (0 = runtime default)")
+		jtSizes    = fs.String("jt-sizes", "", "comma-separated state sizes in MiB for the jointransfer stall sweep (default 1,8,32)")
+		jtJoins    = fs.Int("jt-joins", 0, "join/leave cycles per jointransfer stall point (0 = default 5)")
 	)
 	var jsonOut jsonDir
 	fs.Var(&jsonOut, "json", "also write BENCH_<experiment>.json (bare: current directory; -json=dir: that directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
 	}
 
 	dir := *dataDir
@@ -162,8 +168,30 @@ func run(args []string) error {
 				return err
 			}
 			bench.PrintJoinTransfer(os.Stdout, rows, cfg)
-			params = map[string]any{"history": cfg.History, "update_size": cfg.UpdateSize, "objects": cfg.Objects, "last_n": cfg.LastN, "joins": cfg.Joins}
-			result = rows
+			sizes, err := parseCounts(*jtSizes)
+			if err != nil {
+				return err
+			}
+			stallCfg := bench.JoinStallConfig{Joins: *jtJoins, Duration: *duration}
+			for _, mib := range sizes {
+				stallCfg.StateSizes = append(stallCfg.StateSizes, mib<<20)
+			}
+			stall, err := bench.RunJoinStall(stallCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			if stallCfg.Joins == 0 {
+				stallCfg.Joins = 5
+			}
+			stallCfg.ProbeSize = 1000
+			bench.PrintJoinStall(os.Stdout, stall, stallCfg)
+			params = map[string]any{
+				"history": cfg.History, "update_size": cfg.UpdateSize, "objects": cfg.Objects,
+				"last_n": cfg.LastN, "joins": cfg.Joins,
+				"stall_sizes_mib": sizes, "stall_joins": stallCfg.Joins,
+			}
+			result = map[string]any{"policies": rows, "stall": stall}
 		case "logreduction":
 			res, err := bench.RunLogReduction(2000, 500, 20, dir+"/logred")
 			if err != nil {

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/core"
+)
+
+// JoinStallConfig parameterizes the non-blocking transfer experiment: how
+// much does a large-state full-transfer join stall multicasts in *other*
+// groups? Under the old blocking design the engine's write lock was held
+// for the whole snapshot copy and encode, so an unrelated group's bcast
+// p99 grew with the joining group's state size. With O(1) copy-on-write
+// capture and chunked streaming the lock is held only for the membership
+// update, so the ratio should stay near 1 regardless of state size.
+type JoinStallConfig struct {
+	// StateSizes are the joining group's state sizes in bytes
+	// (default 1, 8, 32 MiB).
+	StateSizes []int
+	// ObjectSize is the size of each state object (default 1 MiB).
+	ObjectSize int
+	// Duration is the baseline probe phase length (default 2s).
+	Duration time.Duration
+	// Joins is the number of timed full-transfer join/leave cycles per
+	// state size (default 5).
+	Joins int
+	// ProbeSize is the side-group multicast payload (default 1000).
+	ProbeSize int
+}
+
+// JoinStallPoint is one measured state size.
+type JoinStallPoint struct {
+	// StateBytes is the joining group's total state payload.
+	StateBytes int
+	// Joins is the number of timed join/leave cycles.
+	Joins int
+	// JoinLatency is the client-observed full-transfer join latency
+	// (first byte of work to reassembled state in hand).
+	JoinLatency LatencyStats
+	// Baseline is the side group's bcast latency with no join running.
+	Baseline LatencyStats
+	// During is the side group's bcast latency while joins stream.
+	During LatencyStats
+	// StallRatio is During.P99 / Baseline.P99. On a multi-core host this
+	// isolates lock blocking; on a single core it also absorbs plain CPU
+	// time-sharing with the copy pipeline, so read it together with the
+	// two direct lock measurements below.
+	StallRatio float64
+	// JoinLockHoldMaxNs is the longest the engine's write lock was held
+	// by any join (server histogram engine.join_lock_hold_ns). O(1)
+	// capture means this stays microseconds regardless of StateBytes.
+	JoinLockHoldMaxNs int64
+	// BcastLockWaitMaxNs is the longest any bcast waited for the engine
+	// lock (server histogram engine.bcast_lock_wait_ns): the direct
+	// measure of how much the join actually blocked other groups.
+	BcastLockWaitMaxNs int64
+}
+
+// RunJoinStall measures, for each state size, the side group's bcast p99
+// with and without a concurrent large-state join, on a fresh server.
+func RunJoinStall(cfg JoinStallConfig) ([]JoinStallPoint, error) {
+	if len(cfg.StateSizes) == 0 {
+		cfg.StateSizes = []int{1 << 20, 8 << 20, 32 << 20}
+	}
+	if cfg.ObjectSize <= 0 {
+		cfg.ObjectSize = 1 << 20
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Joins <= 0 {
+		cfg.Joins = 5
+	}
+	if cfg.ProbeSize <= 0 {
+		cfg.ProbeSize = 1000
+	}
+	var out []JoinStallPoint
+	for _, size := range cfg.StateSizes {
+		p, err := runJoinStallPoint(cfg, size)
+		if err != nil {
+			return out, fmt.Errorf("state %d bytes: %w", size, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func runJoinStallPoint(cfg JoinStallConfig, stateBytes int) (JoinStallPoint, error) {
+	srv, err := core.NewServer(core.Config{Engine: core.EngineConfig{Logger: quietLogger()}})
+	if err != nil {
+		return JoinStallPoint{}, err
+	}
+	defer srv.Close()
+	srv.Start()
+	addr := srv.Addr().String()
+
+	// The big group whose state the joiner will stream.
+	writer, err := client.Dial(client.Config{Addr: addr, Name: "writer"})
+	if err != nil {
+		return JoinStallPoint{}, err
+	}
+	defer writer.Close()
+	if err := writer.CreateGroup("big", false, nil); err != nil {
+		return JoinStallPoint{}, err
+	}
+	if _, err := writer.Join("big", client.JoinOptions{}); err != nil {
+		return JoinStallPoint{}, err
+	}
+	object := make([]byte, cfg.ObjectSize)
+	loaded := 0
+	for i := 0; loaded < stateBytes; i++ {
+		chunk := object
+		if rest := stateBytes - loaded; rest < len(chunk) {
+			chunk = chunk[:rest]
+		}
+		if _, err := writer.BcastState("big", fmt.Sprintf("o-%d", i), chunk, false); err != nil {
+			return JoinStallPoint{}, err
+		}
+		loaded += len(chunk)
+	}
+
+	// The side group: a probe sending synchronous bcasts to a listening
+	// member, measuring server responsiveness from an unrelated group.
+	listener, err := client.Dial(client.Config{Addr: addr, Name: "listener"})
+	if err != nil {
+		return JoinStallPoint{}, err
+	}
+	defer listener.Close()
+	if err := listener.CreateGroup("side", false, nil); err != nil {
+		return JoinStallPoint{}, err
+	}
+	if _, err := listener.Join("side", client.JoinOptions{}); err != nil {
+		return JoinStallPoint{}, err
+	}
+	probe, err := client.Dial(client.Config{Addr: addr, Name: "probe"})
+	if err != nil {
+		return JoinStallPoint{}, err
+	}
+	defer probe.Close()
+	if _, err := probe.Join("side", client.JoinOptions{}); err != nil {
+		return JoinStallPoint{}, err
+	}
+	payload := make([]byte, cfg.ProbeSize)
+	probeFor := func(rec *Recorder, stop <-chan struct{}) error {
+		for {
+			select {
+			case <-stop:
+				return nil
+			default:
+			}
+			start := time.Now()
+			if _, err := probe.BcastState("side", "p", payload, false); err != nil {
+				return err
+			}
+			rec.Record(time.Since(start))
+		}
+	}
+
+	// Phase 1: baseline, no join traffic.
+	baseline := NewRecorder()
+	stop := make(chan struct{})
+	time.AfterFunc(cfg.Duration, func() { close(stop) })
+	if err := probeFor(baseline, stop); err != nil {
+		return JoinStallPoint{}, err
+	}
+
+	// Phase 2: probe while a joiner cycles full-transfer joins of the big
+	// group; the probe runs until the last join completes.
+	joiner, err := client.Dial(client.Config{Addr: addr, Name: "joiner", Timeout: 2 * time.Minute})
+	if err != nil {
+		return JoinStallPoint{}, err
+	}
+	defer joiner.Close()
+	joinRec := NewRecorder()
+	during := NewRecorder()
+	done := make(chan struct{})
+	var joinErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < cfg.Joins; i++ {
+			start := time.Now()
+			if _, err := joiner.Join("big", client.JoinOptions{}); err != nil {
+				joinErr = fmt.Errorf("join %d: %w", i, err)
+				return
+			}
+			joinRec.Record(time.Since(start))
+			if err := joiner.Leave("big"); err != nil {
+				joinErr = fmt.Errorf("leave %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	probeErr := probeFor(during, done)
+	wg.Wait()
+	if joinErr != nil {
+		return JoinStallPoint{}, joinErr
+	}
+	if probeErr != nil {
+		return JoinStallPoint{}, probeErr
+	}
+
+	snap := srv.Engine().Metrics().Snapshot()
+	p := JoinStallPoint{
+		StateBytes:         stateBytes,
+		Joins:              cfg.Joins,
+		JoinLatency:        joinRec.Stats(),
+		Baseline:           baseline.Stats(),
+		During:             during.Stats(),
+		JoinLockHoldMaxNs:  snap.Histograms["engine.join_lock_hold_ns"].Max,
+		BcastLockWaitMaxNs: snap.Histograms["engine.bcast_lock_wait_ns"].Max,
+	}
+	if p.Baseline.P99 > 0 {
+		p.StallRatio = float64(p.During.P99) / float64(p.Baseline.P99)
+	}
+	return p, nil
+}
+
+// PrintJoinStall renders the non-blocking transfer table.
+func PrintJoinStall(w io.Writer, points []JoinStallPoint, cfg JoinStallConfig) {
+	fmt.Fprintf(w, "Non-blocking transfer: side-group bcast p99 during a full-state join\n")
+	fmt.Fprintf(w, "(%d join/leave cycles per point, %d B probe messages)\n", cfg.Joins, cfg.ProbeSize)
+	fmt.Fprintf(w, "%-12s %-14s %-15s %-15s %-8s %-14s %-14s\n",
+		"state (MiB)", "join mean(ms)", "base p99(ms)", "during p99(ms)", "ratio", "lock hold(us)", "lock wait(us)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12.1f %-14s %-15s %-15s %-8.2f %-14.1f %-14.1f\n",
+			float64(p.StateBytes)/(1<<20), Millis(p.JoinLatency.Mean),
+			Millis(p.Baseline.P99), Millis(p.During.P99), p.StallRatio,
+			float64(p.JoinLockHoldMaxNs)/1e3, float64(p.BcastLockWaitMaxNs)/1e3)
+	}
+}

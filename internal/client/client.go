@@ -71,6 +71,10 @@ type Config struct {
 	// OnMembership receives membership-change notifications for groups
 	// joined with Notify. Same constraints as OnEvent.
 	OnMembership func(n wire.MembershipNotify)
+	// OnTransferProgress reports a streamed state transfer's progress
+	// during a large-state Join: received of total payload bytes. Same
+	// constraints as OnEvent.
+	OnTransferProgress func(group string, received, total uint64)
 	// OnDisconnect fires once when the connection dies (not on Close).
 	OnDisconnect func(err error)
 	// AutoReconnect re-dials automatically after a connection loss and
@@ -126,20 +130,31 @@ type joined struct {
 	lastSeq uint64 // highest delivered or transferred seq
 }
 
+// pendingTransfer reassembles one streamed state transfer: the header ack,
+// the chunk bytes received so far, and the live deliveries held back until
+// TransferDone so the application sees the transferred state strictly
+// before the events that follow it.
+type pendingTransfer struct {
+	ack      *wire.JoinAck
+	buf      []byte
+	buffered []wire.Event
+}
+
 // Client is a Corona client connection.
 type Client struct {
 	cfg Config
 	log *slog.Logger
 
-	mu       sync.Mutex
-	conn     *transport.Conn
-	id       uint64
-	serverID uint64
-	nextReq  uint64
-	pending  map[uint64]chan wire.Message
-	groups   map[string]*joined
-	closed   bool
-	readGen  int // bumped per connection; stale read loops exit quietly
+	mu        sync.Mutex
+	conn      *transport.Conn
+	id        uint64
+	serverID  uint64
+	nextReq   uint64
+	pending   map[uint64]chan wire.Message
+	groups    map[string]*joined
+	transfers map[string]*pendingTransfer // in-flight streamed joins, by group
+	closed    bool
+	readGen   int // bumped per connection; stale read loops exit quietly
 }
 
 // Dial connects and performs the Hello exchange.
@@ -154,10 +169,11 @@ func Dial(cfg Config) (*Client, error) {
 		cfg.Logger = slog.Default()
 	}
 	c := &Client{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		pending: make(map[uint64]chan wire.Message),
-		groups:  make(map[string]*joined),
+		cfg:       cfg,
+		log:       cfg.Logger,
+		pending:   make(map[uint64]chan wire.Message),
+		groups:    make(map[string]*joined),
+		transfers: make(map[string]*pendingTransfer),
 	}
 	if err := c.connect(); err != nil {
 		return nil, err
@@ -234,11 +250,15 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// failPendingLocked unblocks every waiter. Caller holds c.mu.
+// failPendingLocked unblocks every waiter and drops half-received state
+// transfers (their joins fail with the connection). Caller holds c.mu.
 func (c *Client) failPendingLocked() {
 	for id, ch := range c.pending {
 		close(ch)
 		delete(c.pending, id)
+	}
+	for g := range c.transfers {
+		delete(c.transfers, g)
 	}
 }
 
@@ -258,6 +278,9 @@ func (c *Client) readLoop(conn *transport.Conn, gen int) {
 					clientDeliveryNs.Record(d)
 				}
 			}
+			if c.bufferDelivery(m.Group, m.Event) {
+				break // held until the group's TransferDone
+			}
 			c.noteDelivered(m.Group, m.Event.Seq)
 			if c.cfg.OnEvent != nil {
 				c.cfg.OnEvent(m.Group, m.Event)
@@ -266,6 +289,16 @@ func (c *Client) readLoop(conn *transport.Conn, gen int) {
 			if c.cfg.OnMembership != nil {
 				c.cfg.OnMembership(*m)
 			}
+		case *wire.JoinAck:
+			if m.Streaming {
+				c.beginTransfer(m)
+			} else {
+				c.completeRequest(m)
+			}
+		case *wire.TransferChunk:
+			c.transferChunk(m)
+		case *wire.TransferDone:
+			c.transferDone(m)
 		case *wire.Ping:
 			_ = conn.WriteMessage(&wire.Pong{Nonce: m.Nonce})
 		default:
@@ -328,6 +361,104 @@ func (c *Client) noteDelivered(group string, seqNo uint64) {
 		j.lastSeq = seqNo
 	}
 	c.mu.Unlock()
+}
+
+// beginTransfer opens reassembly for a streaming JoinAck. The pending Join
+// request stays outstanding until transferDone completes it.
+func (c *Client) beginTransfer(ack *wire.JoinAck) {
+	c.mu.Lock()
+	c.transfers[ack.Group] = &pendingTransfer{ack: ack}
+	c.mu.Unlock()
+}
+
+// bufferDelivery holds back a live delivery that raced a state transfer for
+// the same group, reporting whether it was buffered.
+func (c *Client) bufferDelivery(group string, ev wire.Event) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.transfers[group]
+	if !ok {
+		return false
+	}
+	t.buffered = append(t.buffered, ev)
+	return true
+}
+
+// transferChunk appends one chunk to the group's reassembly buffer. Chunks
+// arrive in offset order on the connection; a gap means a protocol bug, and
+// the join fails rather than delivering corrupt state.
+func (c *Client) transferChunk(m *wire.TransferChunk) {
+	c.mu.Lock()
+	t, ok := c.transfers[m.Group]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	if uint64(len(t.buf)) != m.Offset {
+		delete(c.transfers, m.Group)
+		reqID, have := t.ack.RequestID, len(t.buf)
+		c.mu.Unlock()
+		c.completeRequest(&wire.ErrorMsg{RequestID: reqID, Code: wire.CodeInternal,
+			Text: fmt.Sprintf("transfer chunk for %q at offset %d, want %d", m.Group, m.Offset, have)})
+		return
+	}
+	if t.buf == nil && m.Total <= wire.MaxFrame {
+		t.buf = make([]byte, 0, m.Total)
+	}
+	t.buf = append(t.buf, m.Data...)
+	received := uint64(len(t.buf))
+	c.mu.Unlock()
+	if c.cfg.OnTransferProgress != nil {
+		c.cfg.OnTransferProgress(m.Group, received, m.Total)
+	}
+}
+
+// transferDone verifies and decodes the reassembled payload, completes the
+// pending Join with a now-complete JoinAck, and then flushes the deliveries
+// buffered during the transfer, in order — the application observes exactly
+// the sequence a blocking transfer would have produced, gap-free.
+func (c *Client) transferDone(m *wire.TransferDone) {
+	c.mu.Lock()
+	t, ok := c.transfers[m.Group]
+	if ok {
+		delete(c.transfers, m.Group)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	ack := t.ack
+	if uint64(len(t.buf)) != m.Bytes {
+		c.completeRequest(&wire.ErrorMsg{RequestID: ack.RequestID, Code: wire.CodeInternal,
+			Text: fmt.Sprintf("transfer for %q truncated: %d of %d bytes", m.Group, len(t.buf), m.Bytes)})
+		return
+	}
+	objs, evs, err := wire.DecodeTransferPayload(t.buf)
+	if err != nil {
+		c.completeRequest(&wire.ErrorMsg{RequestID: ack.RequestID, Code: wire.CodeInternal, Text: err.Error()})
+		return
+	}
+	ack.Objects = objs
+	ack.Events = evs
+	ack.Streaming = false
+	// Install the resume cursor before flushing so the buffered events
+	// advance it; Join merges rather than clobbers this entry.
+	c.mu.Lock()
+	if j, exists := c.groups[m.Group]; exists {
+		if ack.NextSeq-1 > j.lastSeq {
+			j.lastSeq = ack.NextSeq - 1
+		}
+	} else {
+		c.groups[m.Group] = &joined{lastSeq: ack.NextSeq - 1}
+	}
+	c.mu.Unlock()
+	c.completeRequest(ack)
+	for _, ev := range t.buffered {
+		c.noteDelivered(m.Group, ev.Seq)
+		if c.cfg.OnEvent != nil {
+			c.cfg.OnEvent(m.Group, ev)
+		}
+	}
 }
 
 // requestID extracts the correlation ID from a reply message.
@@ -496,7 +627,17 @@ func (c *Client) Join(group string, opts JoinOptions) (*JoinResult, error) {
 		Members: ack.Members,
 	}
 	c.mu.Lock()
-	c.groups[group] = &joined{opts: opts, lastSeq: ack.NextSeq - 1}
+	// Merge, don't clobber: a streamed transfer may have installed the
+	// entry already and buffered deliveries may have advanced lastSeq
+	// past NextSeq-1.
+	if j, ok := c.groups[group]; ok {
+		j.opts = opts
+		if ack.NextSeq-1 > j.lastSeq {
+			j.lastSeq = ack.NextSeq - 1
+		}
+	} else {
+		c.groups[group] = &joined{opts: opts, lastSeq: ack.NextSeq - 1}
+	}
 	c.mu.Unlock()
 	return res, nil
 }

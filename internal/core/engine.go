@@ -153,18 +153,21 @@ type Engine struct {
 	// Instruments live outside e.mu: all counters are atomic, so the
 	// multicast hot path and Stats pollers never contend on the engine
 	// lock (the old mutex-guarded stat fields did).
-	metrics        *obs.Registry
-	mBcasts        *obs.Counter
-	mDelivered     *obs.Counter
-	mDropped       *obs.Counter
-	mReduced       *obs.Counter
-	mTransferBytes *obs.Counter
-	mWALErrors     *obs.Counter
-	gSessions      *obs.Gauge
-	gGroups        *obs.Gauge
-	hFanout        *obs.Histogram
-	hJoin          *obs.Histogram
-	hLockWait      *obs.Histogram
+	metrics           *obs.Registry
+	mBcasts           *obs.Counter
+	mDelivered        *obs.Counter
+	mDropped          *obs.Counter
+	mReduced          *obs.Counter
+	mTransferBytes    *obs.Counter
+	mTransferChunks   *obs.Counter
+	mWALErrors        *obs.Counter
+	gSessions         *obs.Gauge
+	gGroups           *obs.Gauge
+	gTransferInflight *obs.Gauge
+	hFanout           *obs.Histogram
+	hJoin             *obs.Histogram
+	hJoinLockHold     *obs.Histogram
+	hLockWait         *obs.Histogram
 }
 
 // Stats is a snapshot of engine counters.
@@ -211,18 +214,21 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		sessions: make(map[uint64]*Session),
 		lowLSN:   make(map[string]uint64),
 
-		metrics:        metrics,
-		mBcasts:        metrics.Counter("engine.bcasts"),
-		mDelivered:     metrics.Counter("engine.delivered"),
-		mDropped:       metrics.Counter("engine.dropped"),
-		mReduced:       metrics.Counter("engine.reductions"),
-		mTransferBytes: metrics.Counter("engine.transfer_bytes"),
-		mWALErrors:     metrics.Counter("engine.wal_append_errors"),
-		gSessions:      metrics.Gauge("engine.sessions"),
-		gGroups:        metrics.Gauge("engine.groups"),
-		hFanout:        metrics.Histogram("engine.fanout_ns"),
-		hJoin:          metrics.Histogram("engine.join_ns"),
-		hLockWait:      metrics.Histogram("engine.bcast_lock_wait_ns"),
+		metrics:           metrics,
+		mBcasts:           metrics.Counter("engine.bcasts"),
+		mDelivered:        metrics.Counter("engine.delivered"),
+		mDropped:          metrics.Counter("engine.dropped"),
+		mReduced:          metrics.Counter("engine.reductions"),
+		mTransferBytes:    metrics.Counter("engine.transfer_bytes"),
+		mTransferChunks:   metrics.Counter("engine.transfer_chunks"),
+		mWALErrors:        metrics.Counter("engine.wal_append_errors"),
+		gSessions:         metrics.Gauge("engine.sessions"),
+		gGroups:           metrics.Gauge("engine.groups"),
+		gTransferInflight: metrics.Gauge("engine.transfer_inflight_bytes"),
+		hFanout:           metrics.Histogram("engine.fanout_ns"),
+		hJoin:             metrics.Histogram("engine.join_ns"),
+		hJoinLockHold:     metrics.Histogram("engine.join_lock_hold_ns"),
+		hLockWait:         metrics.Histogram("engine.bcast_lock_wait_ns"),
 	}
 	if cfg.Dir != "" && !cfg.Stateless {
 		l, err := wal.Open(wal.Options{

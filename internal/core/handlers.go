@@ -147,6 +147,31 @@ func (s *Session) memberInfo(role wire.Role) wire.MemberInfo {
 	return wire.MemberInfo{ClientID: s.ID, Name: s.Name, Role: role}
 }
 
+// Streaming-transfer tuning.
+const (
+	// inlineTransferMax is the largest payload a JoinAck carries inline.
+	// Larger transfers stream as TransferChunk frames so the ack — and
+	// the engine write lock — stay O(membership update).
+	inlineTransferMax = 64 << 10
+	// transferWindow bounds the chunks in flight per transfer, so a bulk
+	// transfer occupies at most this many slots of the member's pump and
+	// live deliveries are never starved.
+	transferWindow = 4
+)
+
+// handleJoin runs the membership half of a join under the engine write lock
+// — registry mutation, hooks, state capture, JoinAck enqueue — and defers
+// the payload. The capture is O(#objects), not O(bytes) (state.Transfer
+// shares the live buffers copy-on-write), so the write-lock hold time, which
+// excludes every group's multicasts, no longer scales with state size.
+// Payloads up to inlineTransferMax are encoded into the ack while the lock
+// still protects the shared buffers; larger ones stream from streamTransfer
+// after unlock, concurrently with live deliveries.
+//
+// Ordering: the ack is enqueued on the pump's priority lane before the lock
+// is released, and fanouts are excluded while it is held — so the client
+// sees JoinAck before any Deliver at or past the captured NextSeq, and
+// before any TransferChunk (chunks ride the normal lane, enqueued later).
 func (e *Engine) handleJoin(s *Session, m *wire.Join) {
 	start := time.Now()
 	role := m.Role
@@ -155,6 +180,7 @@ func (e *Engine) handleJoin(s *Session, m *wire.Join) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer func() { e.hJoinLockHold.Record(time.Since(start).Nanoseconds()) }()
 
 	if _, ok := e.reg.Get(m.Group); !ok && m.CreateIfMissing {
 		if err := e.createLocked(m.Group, false, nil, wire.MemberInfo{}); err != nil {
@@ -175,36 +201,47 @@ func (e *Engine) handleJoin(s *Session, m *wire.Join) {
 	}
 
 	ack := &wire.JoinAck{RequestID: m.RequestID, Group: m.Group}
+	var tr state.Transfer
 	st := e.getState(m.Group)
 	if st != nil {
 		policy := m.Policy
 		if !policy.Mode.Valid() {
 			policy = wire.FullTransfer
 		}
-		objs, events, base, err := st.Snapshot(policy)
+		tr, err = st.Capture(policy)
 		if errors.Is(err, state.ErrSeqGap) {
 			// The requested suffix was reduced away; fall back to a
 			// full transfer (documented resume semantics).
-			objs, events, base, err = st.Snapshot(wire.FullTransfer)
+			tr, err = st.Capture(wire.FullTransfer)
 		}
 		if err != nil {
-			// Join succeeded but the transfer policy was malformed.
-			_, _, _ = e.reg.Leave(m.Group, s.ID)
+			// Join succeeded but the transfer policy was malformed:
+			// roll the registry back, including the compensating
+			// membership hook (the MemberJoined above already reached
+			// the cluster mirror) and the transient-group rule.
+			if g2, empty, lerr := e.reg.Leave(m.Group, s.ID); lerr == nil {
+				if e.cfg.Hooks.OnMembershipChange != nil {
+					e.cfg.Hooks.OnMembershipChange(m.Group, wire.MemberLeft, info, g2.Size())
+				}
+				if empty && !g2.Persistent {
+					e.dropGroupLocked(m.Group)
+				}
+			}
 			s.sendErr(m.RequestID, wire.CodeBadRequest, err.Error())
 			return
 		}
-		ack.Objects = objs
-		ack.Events = events
-		ack.BaseSeq = base
-		ack.NextSeq = st.NextSeq()
-		var transferred uint64
-		for _, o := range objs {
-			transferred += uint64(len(o.Data))
+		ack.BaseSeq = tr.BaseSeq()
+		ack.NextSeq = tr.NextSeq()
+		if tr.PayloadBytes() > inlineTransferMax {
+			ack.Streaming = true
+		} else {
+			// Small transfer: inline. The ack is encoded under the
+			// write lock (sendShared marshals at frame construction),
+			// so sharing the live buffers here is race-free.
+			ack.Objects = tr.Objects()
+			ack.Events = tr.Events()
 		}
-		for _, ev := range events {
-			transferred += uint64(len(ev.Data))
-		}
-		e.mTransferBytes.Add(transferred)
+		e.mTransferBytes.Add(tr.PayloadBytes())
 	} else {
 		// Stateless baseline: no transfer; deliveries start at the
 		// sequencer's next number.
@@ -212,9 +249,53 @@ func (e *Engine) handleJoin(s *Session, m *wire.Join) {
 	}
 	ack.Members = e.membersLocked(m.Group, g)
 	e.hJoin.Record(time.Since(start).Nanoseconds())
-	s.send(ack)
+	// Priority lane: the joiner's ack is not head-of-line-blocked behind
+	// bulk traffic already queued for this client.
+	s.sendShared(transport.NewSharedFrame(ack), true)
 
 	e.notifySubscribersExceptLocked(g, wire.MemberJoined, info, s.ID)
+
+	if ack.Streaming {
+		go e.streamTransfer(s, m.RequestID, m.Group, tr)
+	}
+}
+
+// streamTransfer ships a captured transfer payload as TransferChunk frames
+// on the member's normal pump lane, then terminates it with TransferDone.
+// It runs on its own goroutine with no engine lock: the capture's buffers
+// are copy-on-write stable, so concurrent multicasts proceed untouched. A
+// window of transferWindow chunks is kept in flight, each slot returned by
+// the frame's final release (written or discarded by the pump), which
+// bounds both pump occupancy and transfer memory.
+func (e *Engine) streamTransfer(s *Session, reqID uint64, group string, tr state.Transfer) {
+	stream := wire.NewTransferStream(tr.Objects(), tr.Events())
+	total := stream.Total()
+	window := make(chan struct{}, transferWindow)
+	for {
+		chunk, off := stream.Next(wire.TransferChunkSize)
+		if chunk == nil {
+			break
+		}
+		window <- struct{}{}
+		n := int64(len(chunk))
+		e.gTransferInflight.Add(n)
+		f := transport.NewSharedFrameFinal(
+			&wire.TransferChunk{RequestID: reqID, Group: group, Offset: off, Total: total, Data: chunk},
+			func() {
+				e.gTransferInflight.Add(-n)
+				<-window
+			},
+		)
+		if err := s.pump.SendShared(f, false); err != nil {
+			f.Release()
+			if !errors.Is(err, transport.ErrPumpClosed) {
+				e.failSession(s, fmt.Errorf("state transfer chunk: %w", err))
+			}
+			return
+		}
+		e.mTransferChunks.Inc()
+	}
+	s.sendShared(transport.NewSharedFrame(&wire.TransferDone{RequestID: reqID, Group: group, Bytes: total}), false)
 }
 
 // membersLocked returns the membership view for a group: the global view in

@@ -1,0 +1,205 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"corona/internal/client"
+	"corona/internal/core"
+	"corona/internal/wire"
+)
+
+// TestStreamingJoinLargeState: a join whose transfer exceeds the inline
+// threshold arrives via TransferChunk frames, reassembled transparently by
+// the client library into the same JoinResult a small join produces.
+func TestStreamingJoinLargeState(t *testing.T) {
+	srv := startServer(t, core.Config{})
+	addr := srv.Addr().String()
+
+	a := dial(t, addr, "alice", nil)
+	if err := a.CreateGroup("big", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Join("big", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{
+		"o1": bytes.Repeat([]byte("1"), 300<<10),
+		"o2": bytes.Repeat([]byte("2"), 300<<10),
+		"o3": bytes.Repeat([]byte("3"), 300<<10),
+	}
+	for id, data := range want {
+		if _, err := a.BcastState("big", id, data, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	var progress [][2]uint64
+	sink := newEventSink()
+	b, err := client.Dial(client.Config{
+		Addr: addr, Name: "bob", OnEvent: sink.onEvent,
+		OnTransferProgress: func(group string, received, total uint64) {
+			if group != "big" {
+				t.Errorf("progress for group %q", group)
+			}
+			mu.Lock()
+			progress = append(progress, [2]uint64{received, total})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+
+	res, err := b.Join("big", client.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextSeq != 4 || res.BaseSeq != 3 {
+		t.Errorf("seqs = next %d base %d, want 4/3", res.NextSeq, res.BaseSeq)
+	}
+	if len(res.Objects) != len(want) {
+		t.Fatalf("transferred %d objects, want %d", len(res.Objects), len(want))
+	}
+	for _, o := range res.Objects {
+		if !bytes.Equal(o.Data, want[o.ID]) {
+			t.Errorf("object %q: %d bytes, mismatched content", o.ID, len(o.Data))
+		}
+	}
+	if len(res.Members) != 2 {
+		t.Errorf("members = %+v", res.Members)
+	}
+
+	mu.Lock()
+	if len(progress) < 2 {
+		t.Errorf("progress callbacks = %d, want several chunks", len(progress))
+	}
+	for i, p := range progress {
+		if i > 0 && p[0] <= progress[i-1][0] {
+			t.Errorf("progress not increasing: %v", progress)
+			break
+		}
+		if p[0] > p[1] {
+			t.Errorf("received %d > total %d", p[0], p[1])
+		}
+	}
+	if last := progress[len(progress)-1]; last[0] != last[1] {
+		t.Errorf("final progress %d of %d", last[0], last[1])
+	}
+	mu.Unlock()
+
+	snap := srv.Engine().Metrics().Snapshot()
+	if got := snap.Counters["engine.transfer_chunks"]; got < 2 {
+		t.Errorf("engine.transfer_chunks = %d, want >= 2", got)
+	}
+	if got := snap.Gauges["engine.transfer_inflight_bytes"]; got != 0 {
+		t.Errorf("engine.transfer_inflight_bytes = %d after transfer, want 0", got)
+	}
+
+	// The streamed member is live: it receives and sends multicasts.
+	if _, err := a.BcastUpdate("big", "o1", []byte("post-join"), false); err != nil {
+		t.Fatal(err)
+	}
+	evs := sink.wait(t, 1)
+	if evs[0].Seq != 4 || string(evs[0].Data) != "post-join" {
+		t.Fatalf("first live delivery = %+v", evs[0])
+	}
+	if _, err := b.BcastUpdate("big", "o1", []byte("from-joiner"), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hookRecorder captures OnMembershipChange invocations.
+type hookRecorder struct {
+	mu      sync.Mutex
+	changes []struct {
+		group  string
+		change wire.MembershipChange
+		client uint64
+	}
+}
+
+func (r *hookRecorder) record(group string, change wire.MembershipChange, member wire.MemberInfo, _ int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.changes = append(r.changes, struct {
+		group  string
+		change wire.MembershipChange
+		client uint64
+	}{group, change, member.ClientID})
+}
+
+// TestJoinRollbackFiresCompensatingHook: when the transfer policy turns out
+// malformed after the registry mutation, the rollback must emit a MemberLeft
+// through the membership hook — otherwise a cluster mirror keeps a phantom
+// member — and apply the transient-group rule.
+func TestJoinRollbackFiresCompensatingHook(t *testing.T) {
+	rec := &hookRecorder{}
+	srv := startServer(t, core.Config{Engine: core.EngineConfig{
+		Hooks: core.Hooks{OnMembershipChange: rec.record},
+	}})
+	addr := srv.Addr().String()
+
+	a := dial(t, addr, "alice", nil)
+	if err := a.CreateGroup("g", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Join("g", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.BcastState("g", "o", []byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+
+	b := dial(t, addr, "bob", nil)
+	_, err := b.Join("g", client.JoinOptions{
+		Policy: wire.TransferPolicy{Mode: wire.TransferResume, FromSeq: 500},
+	})
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeBadRequest {
+		t.Fatalf("join with future resume cursor: err = %v, want CodeBadRequest", err)
+	}
+
+	members, err := a.Membership("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0].ClientID != a.ID() {
+		t.Fatalf("membership after rollback = %+v", members)
+	}
+
+	rec.mu.Lock()
+	var bobChanges []wire.MembershipChange
+	for _, ch := range rec.changes {
+		if ch.group == "g" && ch.client == b.ID() {
+			bobChanges = append(bobChanges, ch.change)
+		}
+	}
+	rec.mu.Unlock()
+	if len(bobChanges) != 2 || bobChanges[0] != wire.MemberJoined || bobChanges[1] != wire.MemberLeft {
+		t.Fatalf("hook changes for joiner = %v, want [MemberJoined MemberLeft]", bobChanges)
+	}
+
+	// CreateIfMissing variant: the rolled-back join leaves the implicitly
+	// created transient group empty, so it must be dropped.
+	_, err = b.Join("h", client.JoinOptions{
+		Policy:          wire.TransferPolicy{Mode: wire.TransferResume, FromSeq: 500},
+		CreateIfMissing: true,
+	})
+	if !errors.As(err, &se) || se.Code != wire.CodeBadRequest {
+		t.Fatalf("join 'h': err = %v, want CodeBadRequest", err)
+	}
+	groups, err := a.ListGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if g == "h" {
+			t.Fatalf("empty transient group survived rollback: %v", groups)
+		}
+	}
+}

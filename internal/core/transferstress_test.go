@@ -1,0 +1,339 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/core"
+	"corona/internal/wire"
+)
+
+// deliveryLog records every Deliver for one client. Unlike eventSink it has
+// no notification channel, so a multicast storm can never block the client's
+// read loop on a full buffer.
+type deliveryLog struct {
+	mu  sync.Mutex
+	evs []wire.Event
+}
+
+func (l *deliveryLog) onEvent(_ string, ev wire.Event) {
+	l.mu.Lock()
+	l.evs = append(l.evs, ev)
+	l.mu.Unlock()
+}
+
+func (l *deliveryLog) snapshot() []wire.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]wire.Event(nil), l.evs...)
+}
+
+// waitForSeq polls until the log's last delivery reaches seq target.
+func (l *deliveryLog) waitForSeq(t *testing.T, target uint64) []wire.Event {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		evs := l.snapshot()
+		if n := len(evs); n > 0 && evs[n-1].Seq >= target {
+			return evs
+		}
+		if time.Now().After(deadline) {
+			var have uint64
+			if n := len(evs); n > 0 {
+				have = evs[n-1].Seq
+			}
+			t.Fatalf("timed out waiting for seq %d, have %d", target, have)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// stormView replays events the way the server's state machine does:
+// EventState replaces an object, EventUpdate appends to it.
+type stormView map[string][]byte
+
+func (v stormView) apply(ev wire.Event) {
+	if ev.Kind == wire.EventState {
+		v[ev.ObjectID] = append([]byte(nil), ev.Data...)
+	} else {
+		v[ev.ObjectID] = append(v[ev.ObjectID], ev.Data...)
+	}
+}
+
+// assertChain fails unless the concatenated event batches rise by exactly
+// one sequence number per event; it returns the last seq seen.
+func assertChain(t *testing.T, label string, batches ...[]wire.Event) uint64 {
+	t.Helper()
+	var prev uint64
+	started := false
+	for _, batch := range batches {
+		for _, ev := range batch {
+			if started && ev.Seq != prev+1 {
+				t.Fatalf("%s: seq gap: %d after %d", label, ev.Seq, prev)
+			}
+			prev, started = ev.Seq, true
+		}
+	}
+	return prev
+}
+
+// assertSameObjects compares a replayed view against the quiescent truth,
+// restricted to the ids in only when non-nil.
+func assertSameObjects(t *testing.T, label string, view, truth stormView, only []string) {
+	t.Helper()
+	ids := only
+	if ids == nil {
+		if len(view) != len(truth) {
+			t.Fatalf("%s: replayed %d objects, truth has %d", label, len(view), len(truth))
+		}
+		for id := range truth {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		if !bytes.Equal(view[id], truth[id]) {
+			t.Fatalf("%s: object %q diverged: replayed %d bytes, truth %d bytes",
+				label, id, len(view[id]), len(truth[id]))
+		}
+	}
+}
+
+// TestJoinPoliciesUnderBcastStorm joins a group under every transfer policy
+// while a multicast storm runs, then audits the non-blocking transfer's
+// consistency contract: the reassembled transfer plus the deliveries
+// buffered behind it form a gapless sequence chain, and replaying them
+// yields state byte-identical to a quiescent full transfer taken after the
+// storm. Run it under -race: the COW capture shares buffers with the live
+// state while updates keep landing, so this doubles as the aliasing torture
+// test for internal/state.
+func TestJoinPoliciesUnderBcastStorm(t *testing.T) {
+	stormLen := 1200 * time.Millisecond
+	if testing.Short() {
+		stormLen = 300 * time.Millisecond
+	}
+	pace := stormLen / 5
+
+	srv := startServer(t, core.Config{})
+	addr := srv.Addr().String()
+
+	// Seed a chunk-sized object so mid-storm full transfers exercise the
+	// streaming path, and seed the storm objects so the selected-objects
+	// join can never race their creation.
+	seeder := dial(t, addr, "seeder", nil)
+	if err := seeder.CreateGroup("storm", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seeder.Join("storm", client.JoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seeder.BcastState("storm", "big", bytes.Repeat([]byte("B"), 128<<10), false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := seeder.BcastState("storm", fmt.Sprintf("o-%d", i), []byte("seed"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The storm: two members blasting deterministic payloads at three
+	// objects, with an occasional whole-object overwrite.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		c := dial(t, addr, fmt.Sprintf("storm-%d", w), nil)
+		if _, err := c.Join("storm", client.JoinOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c *client.Client, w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				obj := fmt.Sprintf("o-%d", i%3)
+				payload := fmt.Appendf(nil, "(%d:%d)", w, i)
+				var err error
+				if i%31 == 30 {
+					_, err = c.BcastState("storm", obj, payload, false)
+				} else {
+					_, err = c.BcastUpdate("storm", obj, payload, false)
+				}
+				if err != nil {
+					t.Errorf("storm worker %d: %v", w, err)
+					return
+				}
+			}
+		}(c, w)
+	}
+
+	// Full transfer, mid-storm: the 128 KiB object streams in chunks while
+	// live deliveries are buffered behind the transfer.
+	time.Sleep(pace)
+	fullLog := &deliveryLog{}
+	fullC, err := client.Dial(client.Config{Addr: addr, Name: "joiner-full", OnEvent: fullLog.onEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fullC.Close() })
+	fullRes, err := fullC.Join("storm", client.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullRes.Events) != 0 {
+		t.Fatalf("full transfer carried %d events, want objects only", len(fullRes.Events))
+	}
+
+	// Last-N, mid-storm: a bounded event suffix.
+	time.Sleep(pace)
+	lastLog := &deliveryLog{}
+	lastC, err := client.Dial(client.Config{Addr: addr, Name: "joiner-lastn", OnEvent: lastLog.onEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lastC.Close() })
+	lastRes, err := lastC.Join("storm", client.JoinOptions{
+		Policy: wire.TransferPolicy{Mode: wire.TransferLastN, LastN: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(lastRes.Events); n == 0 || n > 64 {
+		t.Fatalf("last-64 transfer carried %d events", n)
+	}
+
+	// Selected objects, mid-storm: o-0 at capture time plus its later
+	// deliveries must replay to the quiescent o-0.
+	time.Sleep(pace)
+	objLog := &deliveryLog{}
+	objC, err := client.Dial(client.Config{Addr: addr, Name: "joiner-obj", OnEvent: objLog.onEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { objC.Close() })
+	objRes, err := objC.Join("storm", client.JoinOptions{
+		Policy: wire.TransferPolicy{Mode: wire.TransferObjects, Objects: []string{"o-0"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objRes.Objects) != 1 || objRes.Objects[0].ID != "o-0" {
+		t.Fatalf("objects transfer = %+v", objRes.Objects)
+	}
+
+	// Resume: full join, watch for a while, leave, rejoin mid-storm from
+	// the exact cursor; the transferred suffix must close the hole.
+	time.Sleep(pace)
+	resLog := &deliveryLog{}
+	resC, err := client.Dial(client.Config{Addr: addr, Name: "joiner-resume", OnEvent: resLog.onEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resC.Close() })
+	resRes1, err := resC.Join("storm", client.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(pace / 2)
+	if err := resC.Leave("storm"); err != nil {
+		t.Fatal(err)
+	}
+	phase1 := resLog.snapshot()
+	cursor := resRes1.NextSeq - 1
+	if len(phase1) > 0 {
+		cursor = phase1[len(phase1)-1].Seq
+	}
+	time.Sleep(pace / 2)
+	resRes2, err := resC.Join("storm", client.JoinOptions{
+		Policy: wire.TransferPolicy{Mode: wire.TransferResume, FromSeq: cursor + 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRes2.BaseSeq != cursor {
+		t.Fatalf("resume base seq = %d, want cursor %d", resRes2.BaseSeq, cursor)
+	}
+
+	time.Sleep(pace)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiescent ground truth: a full transfer with no writers left.
+	truthC := dial(t, addr, "truth", nil)
+	truthRes, err := truthC.Join("storm", client.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := truthRes.NextSeq - 1
+	truth := stormView{}
+	for _, o := range truthRes.Objects {
+		truth[o.ID] = o.Data
+	}
+
+	// Full joiner: transferred objects plus every delivery since replay to
+	// the quiescent state, with the first delivery exactly at NextSeq.
+	fullEvs := fullLog.waitForSeq(t, final)
+	if fullEvs[0].Seq != fullRes.NextSeq {
+		t.Fatalf("full joiner: first delivery seq %d, want NextSeq %d", fullEvs[0].Seq, fullRes.NextSeq)
+	}
+	assertChain(t, "full joiner", fullEvs)
+	view := stormView{}
+	for _, o := range fullRes.Objects {
+		view[o.ID] = o.Data
+	}
+	for _, ev := range fullEvs {
+		view.apply(ev)
+	}
+	assertSameObjects(t, "full joiner", view, truth, nil)
+
+	// Last-N joiner: the transferred suffix chains gaplessly into the live
+	// deliveries and reaches the final seq.
+	lastEvs := lastLog.waitForSeq(t, final)
+	if end := assertChain(t, "last-n joiner", lastRes.Events, lastEvs); end != final {
+		t.Fatalf("last-n joiner: chain ends at %d, want %d", end, final)
+	}
+
+	// Objects joiner: captured o-0 plus its subsequent o-0 deliveries
+	// replays to the quiescent o-0.
+	objEvs := objLog.waitForSeq(t, final)
+	assertChain(t, "objects joiner", objEvs)
+	view = stormView{"o-0": objRes.Objects[0].Data}
+	for _, ev := range objEvs {
+		if ev.ObjectID == "o-0" {
+			view.apply(ev)
+		}
+	}
+	assertSameObjects(t, "objects joiner", view, truth, []string{"o-0"})
+
+	// Resumer: phase-1 state, the resume suffix covering the leave hole,
+	// and phase-2 deliveries chain gaplessly and replay to the quiescent
+	// state.
+	resEvs := resLog.waitForSeq(t, final)
+	phase2 := resEvs[len(phase1):]
+	if end := assertChain(t, "resumer", phase1, resRes2.Events, phase2); end != final {
+		t.Fatalf("resumer: chain ends at %d, want %d", end, final)
+	}
+	view = stormView{}
+	for _, o := range resRes1.Objects {
+		view[o.ID] = o.Data
+	}
+	for _, ev := range phase1 {
+		view.apply(ev)
+	}
+	for _, ev := range resRes2.Events {
+		view.apply(ev)
+	}
+	for _, ev := range phase2 {
+		view.apply(ev)
+	}
+	assertSameObjects(t, "resumer", view, truth, nil)
+}

@@ -84,6 +84,11 @@ type Group struct {
 	// client is the last to join).
 	members []*Member
 	byID    map[uint64]*Member
+	// ids is the copy-on-write MemberIDs snapshot: rebuilt as a fresh
+	// slice on every join/leave, never mutated in place, so the fanout
+	// hot path can iterate it without allocating and without racing a
+	// membership change it doesn't hold the write lock against.
+	ids []uint64
 }
 
 // Members returns the membership snapshot in join order.
@@ -95,13 +100,21 @@ func (g *Group) Members() []wire.MemberInfo {
 	return out
 }
 
-// MemberIDs returns the member client IDs in join order.
-func (g *Group) MemberIDs() []uint64 {
-	out := make([]uint64, len(g.members))
+// MemberIDs returns the member client IDs in join order. The slice is a
+// shared copy-on-write snapshot — callers must treat it as read-only. It
+// stays valid (frozen at this membership) across concurrent joins and
+// leaves, which install a replacement rather than mutate it.
+func (g *Group) MemberIDs() []uint64 { return g.ids }
+
+// rebuildIDs installs a fresh MemberIDs snapshot. Called on every
+// membership mutation; the old slice is left untouched for readers still
+// iterating it.
+func (g *Group) rebuildIDs() {
+	ids := make([]uint64, len(g.members))
 	for i, m := range g.members {
-		out[i] = m.Info.ClientID
+		ids[i] = m.Info.ClientID
 	}
-	return out
+	g.ids = ids
 }
 
 // Subscribers returns the client IDs subscribed to membership
@@ -213,6 +226,7 @@ func (r *Registry) Join(name string, info wire.MemberInfo, notify bool) (*Group,
 	m := &Member{Info: info, Notify: notify}
 	g.members = append(g.members, m)
 	g.byID[info.ClientID] = m
+	g.rebuildIDs()
 	return g, nil
 }
 
@@ -234,6 +248,7 @@ func (r *Registry) Leave(name string, clientID uint64) (g *Group, empty bool, er
 			break
 		}
 	}
+	g.rebuildIDs()
 	return g, g.Size() == 0, nil
 }
 

@@ -185,3 +185,30 @@ func TestActionString(t *testing.T) {
 		}
 	}
 }
+
+func TestMemberIDsCopyOnWrite(t *testing.T) {
+	r := NewRegistry(nil)
+	g, _ := r.Create("g", false, wire.MemberInfo{})
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := r.Join("g", info(i, fmt.Sprintf("c%d", i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := g.MemberIDs()
+	if got := g.MemberIDs(); &got[0] != &snap[0] {
+		t.Fatal("MemberIDs allocated a fresh slice between mutations")
+	}
+	if _, err := r.Join("g", info(4, "c4"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Leave("g", 2); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-mutation snapshot is frozen, not mutated in place.
+	if want := []uint64{1, 2, 3}; !reflect.DeepEqual(snap, want) {
+		t.Fatalf("old snapshot mutated: %v, want %v", snap, want)
+	}
+	if want := []uint64{1, 3, 4}; !reflect.DeepEqual(g.MemberIDs(), want) {
+		t.Fatalf("MemberIDs = %v, want %v", g.MemberIDs(), want)
+	}
+}

@@ -146,6 +146,11 @@ func (g *Group) Apply(ev wire.Event) error {
 // Digest returns the running history digest (see DigestEvent).
 func (g *Group) Digest() uint64 { return g.digest }
 
+// applyToObjects folds one event into the materialized objects. It must
+// preserve the copy-on-write invariants documented on Transfer: a state
+// event installs a fresh buffer (never writes into the old one), and an
+// update only appends — bytes below any previously captured length are
+// never rewritten, so captured views stay stable without cloning.
 func (g *Group) applyToObjects(ev wire.Event) {
 	switch ev.Kind {
 	case wire.EventState:
@@ -176,50 +181,139 @@ func (g *Group) Objects() []wire.Object {
 	return out
 }
 
-// Snapshot materializes a state transfer under the given policy (paper
-// §3.2, customized state transfer). It returns the snapshot objects, the
-// event suffix, and the base sequence number the objects incorporate.
+// Transfer is a captured state transfer: an immutable view of the objects
+// and history events a joining member must receive under one policy.
 //
-// For TransferResume, ErrSeqGap means the requested suffix has been
-// reduced away; the caller should fall back to a full transfer.
-func (g *Group) Snapshot(policy wire.TransferPolicy) (objects []wire.Object, events []wire.Event, baseSeq uint64, err error) {
+// Capture is O(1) in state bytes — the view shares the group's live object
+// buffers and history backing array instead of cloning them — which is what
+// lets the engine capture a transfer inside a short lock-held critical
+// section and stream the payload afterwards, concurrently with new updates
+// to the same group. Sharing is safe because the store is copy-on-write:
+//
+//   - bcastState installs a fresh buffer; the buffer a capture holds is
+//     never written again.
+//   - bcastUpdate appends, writing only at indexes at or beyond the
+//     buffer's length at capture time; a capture reads only below it.
+//   - history is append-only, and Reduce replaces the slice rather than
+//     mutating the retained prefix, so a captured subslice stays stable.
+//
+// Anyone changing applyToObjects or Reduce must preserve these invariants.
+type Transfer struct {
+	// objects maps object IDs to shared live buffers (nil for event-only
+	// transfers). The map itself is a private copy; the values are not.
+	objects map[string][]byte
+	// events is a shared subslice of the group's history.
+	events  []wire.Event
+	baseSeq uint64
+	nextSeq uint64
+	bytes   uint64
+}
+
+// BaseSeq is the sequence number the captured objects incorporate.
+func (t Transfer) BaseSeq() uint64 { return t.baseSeq }
+
+// NextSeq is the sequence number the first post-capture delivery carries.
+func (t Transfer) NextSeq() uint64 { return t.nextSeq }
+
+// PayloadBytes approximates the transfer payload (object and event IDs plus
+// data, without codec framing). It sizes progress reporting and the
+// inline-vs-streaming decision.
+func (t Transfer) PayloadBytes() uint64 { return t.bytes }
+
+// Objects returns the captured objects sorted by ID. The Data slices are
+// shared with the live state (see the COW invariants) and must be treated
+// as read-only.
+func (t Transfer) Objects() []wire.Object {
+	if len(t.objects) == 0 {
+		return nil
+	}
+	out := make([]wire.Object, 0, len(t.objects))
+	for id, data := range t.objects {
+		out = append(out, wire.Object{ID: id, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Events returns the captured event suffix, shared with the live history;
+// read-only.
+func (t Transfer) Events() []wire.Event { return t.events }
+
+// Capture takes an O(1)-in-bytes transfer view under the given policy
+// (paper §3.2, customized state transfer). The caller must hold whatever
+// lock serializes Apply; the returned view may then be read without it.
+//
+// For TransferResume, ErrSeqGap means the requested suffix has been reduced
+// away; the caller should fall back to a full transfer.
+func (g *Group) Capture(policy wire.TransferPolicy) (Transfer, error) {
+	t := Transfer{nextSeq: g.nextSeq}
 	switch policy.Mode {
 	case wire.TransferFull:
-		return g.Objects(), nil, g.nextSeq - 1, nil
+		t.baseSeq = g.nextSeq - 1
+		t.objects = make(map[string][]byte, len(g.objects))
+		for id, data := range g.objects {
+			t.objects[id] = data
+			t.bytes += uint64(len(id) + len(data))
+		}
 	case wire.TransferLastN:
 		n := int(policy.LastN)
 		if n > len(g.history) {
 			n = len(g.history)
 		}
-		events = cloneEvents(g.history[len(g.history)-n:])
-		var base uint64 = g.baseSeq
+		t.events = g.history[len(g.history)-n:]
+		t.baseSeq = g.baseSeq
 		if len(g.history) > n {
-			base = g.history[len(g.history)-n-1].Seq
+			t.baseSeq = g.history[len(g.history)-n-1].Seq
 		}
-		return nil, events, base, nil
 	case wire.TransferObjects:
-		objects = make([]wire.Object, 0, len(policy.Objects))
+		t.baseSeq = g.nextSeq - 1
+		t.objects = make(map[string][]byte, len(policy.Objects))
 		for _, id := range policy.Objects {
 			if data, ok := g.objects[id]; ok {
-				objects = append(objects, wire.Object{ID: id, Data: cloneBytes(data)})
+				t.objects[id] = data
+				t.bytes += uint64(len(id) + len(data))
 			}
 		}
-		return objects, nil, g.nextSeq - 1, nil
 	case wire.TransferNone:
-		return nil, nil, g.nextSeq - 1, nil
+		t.baseSeq = g.nextSeq - 1
 	case wire.TransferResume:
-		events, err = g.Resume(policy.FromSeq)
-		if err != nil {
-			return nil, nil, 0, err
+		if policy.FromSeq > g.nextSeq {
+			// A cursor past the sequencer is a malformed policy (a
+			// confused or corrupt client), not a reduced-away suffix;
+			// no fallback applies.
+			return Transfer{}, fmt.Errorf("state: resume from %d beyond next seq %d", policy.FromSeq, g.nextSeq)
 		}
-		base := policy.FromSeq - 1
-		if policy.FromSeq == 0 {
-			base = 0
+		if policy.FromSeq <= g.baseSeq {
+			return Transfer{}, fmt.Errorf("%w: from %d, checkpoint %d", ErrSeqGap, policy.FromSeq, g.baseSeq)
 		}
-		return nil, events, base, nil
+		idx := sort.Search(len(g.history), func(i int) bool { return g.history[i].Seq >= policy.FromSeq })
+		t.events = g.history[idx:]
+		t.baseSeq = policy.FromSeq - 1
 	default:
-		return nil, nil, 0, fmt.Errorf("state: invalid transfer mode %d", policy.Mode)
+		return Transfer{}, fmt.Errorf("state: invalid transfer mode %d", policy.Mode)
 	}
+	for _, ev := range t.events {
+		t.bytes += uint64(len(ev.ObjectID) + len(ev.Data))
+	}
+	return t, nil
+}
+
+// Snapshot materializes a state transfer under the given policy (paper
+// §3.2, customized state transfer). It returns deep copies of the snapshot
+// objects and event suffix, and the base sequence number the objects
+// incorporate. Prefer Capture, which shares buffers instead of cloning.
+//
+// For TransferResume, ErrSeqGap means the requested suffix has been
+// reduced away; the caller should fall back to a full transfer.
+func (g *Group) Snapshot(policy wire.TransferPolicy) (objects []wire.Object, events []wire.Event, baseSeq uint64, err error) {
+	t, err := g.Capture(policy)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, o := range t.Objects() {
+		objects = append(objects, wire.Object{ID: o.ID, Data: cloneBytes(o.Data)})
+	}
+	return objects, cloneEvents(t.events), t.baseSeq, nil
 }
 
 // Resume returns a copy of every retained event with Seq >= from. It

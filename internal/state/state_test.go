@@ -545,3 +545,162 @@ func TestQuickResumeEqualsSuffix(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCaptureStableUnderMutation is the copy-on-write contract: a captured
+// Transfer must keep returning the bytes that were current at capture time
+// even while the group keeps applying overwrites and appends.
+func TestCaptureStableUnderMutation(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "a", "alpha"),
+		ev(2, wire.EventState, "b", "beta|"),
+	)
+	tr, err := g.Capture(wire.FullTransfer)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	// Overwrite a, append to b, create c, and reduce the log — none of it
+	// may show through the captured view.
+	mustApply(t, g,
+		ev(3, wire.EventState, "a", "ALPHA2"),
+		ev(4, wire.EventUpdate, "b", "more"),
+		ev(5, wire.EventState, "c", "new"),
+	)
+	g.Reduce(0)
+	objs := tr.Objects()
+	if len(objs) != 2 {
+		t.Fatalf("captured %d objects, want 2", len(objs))
+	}
+	want := map[string]string{"a": "alpha", "b": "beta|"}
+	for _, o := range objs {
+		if string(o.Data) != want[o.ID] {
+			t.Errorf("captured %q = %q, want %q", o.ID, o.Data, want[o.ID])
+		}
+	}
+	if tr.NextSeq() != 3 || tr.BaseSeq() != 2 {
+		t.Errorf("seqs = next %d base %d, want 3/2", tr.NextSeq(), tr.BaseSeq())
+	}
+	if got, want := tr.PayloadBytes(), uint64(len("a")+len("alpha")+len("b")+len("beta|")); got != want {
+		t.Errorf("PayloadBytes = %d, want %d", got, want)
+	}
+}
+
+// TestCaptureLastNStableUnderReduce: a last-N capture shares a history
+// subslice; Reduce replaces g.history, so the shared slice must survive.
+func TestCaptureLastNStableUnderReduce(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "o", "base"),
+		ev(2, wire.EventUpdate, "o", "u1"),
+		ev(3, wire.EventUpdate, "o", "u2"),
+	)
+	tr, err := g.Capture(wire.TransferPolicy{Mode: wire.TransferLastN, LastN: 2})
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	mustApply(t, g, ev(4, wire.EventUpdate, "o", "u3"))
+	g.Reduce(0)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Seq != 2 || evs[1].Seq != 3 {
+		t.Fatalf("captured events = %+v, want seqs 2,3", evs)
+	}
+	if string(evs[0].Data) != "u1" || string(evs[1].Data) != "u2" {
+		t.Errorf("captured data = %q,%q", evs[0].Data, evs[1].Data)
+	}
+	if tr.BaseSeq() != 1 {
+		t.Errorf("BaseSeq = %d, want 1", tr.BaseSeq())
+	}
+}
+
+// TestCaptureSnapshotParity: Snapshot is a deep-cloning wrapper over
+// Capture; both must agree for every policy.
+func TestCaptureSnapshotParity(t *testing.T) {
+	build := func() *Group {
+		g := New()
+		mustApply(t, g,
+			ev(1, wire.EventState, "x", "one"),
+			ev(2, wire.EventState, "y", "two"),
+			ev(3, wire.EventUpdate, "x", "+three"),
+		)
+		return g
+	}
+	policies := []wire.TransferPolicy{
+		{Mode: wire.TransferFull},
+		{Mode: wire.TransferLastN, LastN: 2},
+		{Mode: wire.TransferObjects, Objects: []string{"y"}},
+		{Mode: wire.TransferNone},
+		{Mode: wire.TransferResume, FromSeq: 2},
+	}
+	for _, p := range policies {
+		g := build()
+		tr, err := g.Capture(p)
+		if err != nil {
+			t.Fatalf("%v: Capture: %v", p.Mode, err)
+		}
+		objs, evs, base, err := g.Snapshot(p)
+		if err != nil {
+			t.Fatalf("%v: Snapshot: %v", p.Mode, err)
+		}
+		if base != tr.BaseSeq() {
+			t.Errorf("%v: baseSeq %d vs %d", p.Mode, base, tr.BaseSeq())
+		}
+		cobjs := tr.Objects()
+		if len(objs) != len(cobjs) {
+			t.Fatalf("%v: %d objects vs %d", p.Mode, len(objs), len(cobjs))
+		}
+		for i := range objs {
+			if objs[i].ID != cobjs[i].ID || !bytes.Equal(objs[i].Data, cobjs[i].Data) {
+				t.Errorf("%v: object %d differs: %+v vs %+v", p.Mode, i, objs[i], cobjs[i])
+			}
+		}
+		cevs := tr.Events()
+		if len(evs) != len(cevs) {
+			t.Fatalf("%v: %d events vs %d", p.Mode, len(evs), len(cevs))
+		}
+		for i := range evs {
+			if evs[i].Seq != cevs[i].Seq || !bytes.Equal(evs[i].Data, cevs[i].Data) {
+				t.Errorf("%v: event %d differs", p.Mode, i)
+			}
+		}
+	}
+}
+
+func TestCaptureResumeGap(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "o", "a"),
+		ev(2, wire.EventUpdate, "o", "b"),
+	)
+	g.Reduce(1)
+	_, err := g.Capture(wire.TransferPolicy{Mode: wire.TransferResume, FromSeq: 1})
+	if !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("Capture(resume from 1) err = %v, want ErrSeqGap", err)
+	}
+}
+
+func TestCaptureResumeBeyondNextSeq(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "o", "a"),
+		ev(2, wire.EventUpdate, "o", "b"),
+	)
+	// A cursor past the sequencer is malformed, not a reduced-away suffix:
+	// the error must NOT be ErrSeqGap, so callers do not fall back to a
+	// full transfer but reject the join.
+	_, err := g.Capture(wire.TransferPolicy{Mode: wire.TransferResume, FromSeq: 500})
+	if err == nil {
+		t.Fatal("Capture(resume from 500) succeeded, want error")
+	}
+	if errors.Is(err, ErrSeqGap) {
+		t.Fatalf("Capture(resume from 500) err = %v, must not be ErrSeqGap", err)
+	}
+	// The boundary itself is legal: resuming from nextSeq is an empty
+	// suffix (a fully caught-up reconnect).
+	tr, err := g.Capture(wire.TransferPolicy{Mode: wire.TransferResume, FromSeq: 3})
+	if err != nil {
+		t.Fatalf("Capture(resume from nextSeq) err = %v", err)
+	}
+	if len(tr.Events()) != 0 || tr.NextSeq() != 3 {
+		t.Fatalf("caught-up resume = %d events, next %d", len(tr.Events()), tr.NextSeq())
+	}
+}

@@ -9,8 +9,11 @@ import (
 
 // maxPooledFrame caps the encoded size of buffers returned to the frame
 // pool. Occasional jumbo frames (near wire.MaxFrame) would otherwise pin
-// megabytes per pool slot forever.
-const maxPooledFrame = 128 << 10
+// megabytes per pool slot forever. The bound admits a state-transfer
+// chunk plus its envelope: a streaming join produces a long run of
+// chunk-sized frames back to back, and dropping each one from the pool
+// made the transfer path the process's dominant allocator.
+const maxPooledFrame = wire.TransferChunkSize + 32<<10
 
 var framePool = sync.Pool{New: func() any { return new(SharedFrame) }}
 
@@ -25,15 +28,27 @@ var framePool = sync.Pool{New: func() any { return new(SharedFrame) }}
 // the frame is written or dropped. Release the creator's reference when
 // done enqueueing. A released frame must not be touched again.
 type SharedFrame struct {
-	buf  []byte
-	refs atomic.Int32
+	buf     []byte
+	refs    atomic.Int32
+	onFinal func()
 }
 
 // NewSharedFrame encodes msg into a pooled frame with one reference.
 func NewSharedFrame(msg wire.Message) *SharedFrame {
 	f := framePool.Get().(*SharedFrame)
 	f.buf = appendFrame(f.buf[:0], msg)
+	f.onFinal = nil
 	f.refs.Store(1)
+	return f
+}
+
+// NewSharedFrameFinal is NewSharedFrame with a completion callback: onFinal
+// runs exactly once, when the last reference is released (the frame has been
+// written or discarded by every pump). The state-transfer streamer uses it
+// as its flow-control signal. onFinal must not retain the frame.
+func NewSharedFrameFinal(msg wire.Message, onFinal func()) *SharedFrame {
+	f := NewSharedFrame(msg)
+	f.onFinal = onFinal
 	return f
 }
 
@@ -46,6 +61,10 @@ func (f *SharedFrame) Retain() { f.refs.Add(1) }
 func (f *SharedFrame) Release() {
 	switch n := f.refs.Add(-1); {
 	case n == 0:
+		if fn := f.onFinal; fn != nil {
+			f.onFinal = nil
+			fn()
+		}
 		if cap(f.buf) > maxPooledFrame {
 			f.buf = nil
 		}

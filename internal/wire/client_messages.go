@@ -188,7 +188,10 @@ func (m *Join) Decode(d *Decoder) error {
 //
 // Depending on the transfer policy, the state arrives as Objects (full or
 // per-object snapshots), as Events (incremental updates), or both (resume
-// from a checkpointed base).
+// from a checkpointed base). For large transfers the server instead sets
+// Streaming and leaves Objects/Events empty: the payload follows as
+// TransferChunk frames terminated by TransferDone, concurrently with live
+// Delivers for seq >= NextSeq.
 type JoinAck struct {
 	RequestID uint64
 	Group     string
@@ -201,6 +204,9 @@ type JoinAck struct {
 	Objects []Object
 	Events  []Event
 	Members []MemberInfo
+	// Streaming marks a chunked transfer: Objects and Events arrive in
+	// subsequent TransferChunk frames instead of inline.
+	Streaming bool
 }
 
 // Kind implements Message.
@@ -215,6 +221,7 @@ func (m *JoinAck) Encode(e *Encoder) {
 	encodeObjects(e, m.Objects)
 	encodeEvents(e, m.Events)
 	encodeMembers(e, m.Members)
+	e.PutBool(m.Streaming)
 }
 
 // Decode implements Message.
@@ -226,6 +233,79 @@ func (m *JoinAck) Decode(d *Decoder) error {
 	m.Objects = decodeObjects(d)
 	m.Events = decodeEvents(d)
 	m.Members = decodeMembers(d)
+	m.Streaming = d.Bool()
+	return d.Err()
+}
+
+// TransferChunk carries one contiguous slice of a streamed state-transfer
+// payload. The concatenation of all chunks for a join, in offset order, is
+// the standard encoding of the transfer's objects followed by its events
+// (see DecodeTransferPayload). Chunks for one join arrive in order on the
+// member's connection.
+type TransferChunk struct {
+	// RequestID echoes the Join that opened the transfer.
+	RequestID uint64
+	Group     string
+	// Offset is this chunk's starting byte position within the payload.
+	Offset uint64
+	// Total is the payload size in bytes, repeated in every chunk so
+	// progress can be reported from any of them.
+	Total uint64
+	// Data aliases the decode buffer: it is valid only until the
+	// connection's next read. The receiver appends it to its reassembly
+	// buffer immediately, so a per-chunk defensive copy would only double
+	// the transfer's allocation volume.
+	Data []byte
+}
+
+// Kind implements Message.
+func (*TransferChunk) Kind() Kind { return KindTransferChunk }
+
+// Encode implements Message.
+func (m *TransferChunk) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutString(m.Group)
+	e.PutUvarint(m.Offset)
+	e.PutUvarint(m.Total)
+	e.PutBytes(m.Data)
+}
+
+// Decode implements Message.
+func (m *TransferChunk) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Group = d.String()
+	m.Offset = d.Uvarint()
+	m.Total = d.Uvarint()
+	m.Data = d.Bytes()
+	return d.Err()
+}
+
+// TransferDone terminates a streamed state transfer: every chunk has been
+// sent and the client may decode the reassembled payload.
+type TransferDone struct {
+	// RequestID echoes the Join that opened the transfer.
+	RequestID uint64
+	Group     string
+	// Bytes is the total payload size; the client verifies it received
+	// exactly this many bytes before decoding.
+	Bytes uint64
+}
+
+// Kind implements Message.
+func (*TransferDone) Kind() Kind { return KindTransferDone }
+
+// Encode implements Message.
+func (m *TransferDone) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutString(m.Group)
+	e.PutUvarint(m.Bytes)
+}
+
+// Decode implements Message.
+func (m *TransferDone) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Group = d.String()
+	m.Bytes = d.Uvarint()
 	return d.Err()
 }
 

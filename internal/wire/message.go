@@ -37,6 +37,8 @@ const (
 	KindPing
 	KindPong
 	KindError
+	KindTransferChunk
+	KindTransferDone
 )
 
 // Server↔server message kinds.
@@ -89,6 +91,8 @@ var kindNames = map[Kind]string{
 	KindPing:             "Ping",
 	KindPong:             "Pong",
 	KindError:            "Error",
+	KindTransferChunk:    "TransferChunk",
+	KindTransferDone:     "TransferDone",
 	KindSHello:           "SHello",
 	KindSHelloAck:        "SHelloAck",
 	KindSForward:         "SForward",
@@ -156,6 +160,8 @@ var factories = map[Kind]func() Message{
 	KindPing:             func() Message { return new(Ping) },
 	KindPong:             func() Message { return new(Pong) },
 	KindError:            func() Message { return new(ErrorMsg) },
+	KindTransferChunk:    func() Message { return new(TransferChunk) },
+	KindTransferDone:     func() Message { return new(TransferDone) },
 	KindSHello:           func() Message { return new(SHello) },
 	KindSHelloAck:        func() Message { return new(SHelloAck) },
 	KindSForward:         func() Message { return new(SForward) },

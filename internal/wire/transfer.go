@@ -1,0 +1,131 @@
+package wire
+
+import "fmt"
+
+// TransferChunkSize is the default payload size of one TransferChunk. It is
+// small enough that a chunk never monopolizes a member's pump (live Delivers
+// interleave between chunks) and large enough that framing overhead is
+// negligible against the payload.
+const TransferChunkSize = 256 << 10
+
+// TransferStream incrementally encodes a state-transfer payload — the
+// standard encoding of objects followed by events, exactly as a non-streamed
+// JoinAck would carry them — without ever materializing the whole payload or
+// copying the object/event data buffers. The stream keeps a segment list:
+// small header segments (counts, IDs, length prefixes) built once into a
+// private buffer, interleaved with the caller's data slices, which are
+// shared, not copied. Building a stream is therefore O(#objects + #events)
+// regardless of payload bytes.
+//
+// The caller must not mutate the objects' or events' Data buffers while the
+// stream is live. A state.Transfer provides exactly that guarantee.
+type TransferStream struct {
+	segs  [][]byte
+	pos   int // current segment
+	off   int // consumed bytes of segs[pos]
+	total uint64
+	sent  uint64
+	buf   []byte // reusable chunk buffer
+}
+
+// NewTransferStream returns a stream over the given payload. The Data
+// slices of objects and events are shared until the stream is drained.
+func NewTransferStream(objects []Object, events []Event) *TransferStream {
+	e := NewEncoder(nil)
+	// cuts[i] is the header-buffer offset at which shared[i] interleaves.
+	cuts := make([]int, 0, len(objects)+len(events))
+	shared := make([][]byte, 0, len(objects)+len(events))
+
+	e.PutUvarint(uint64(len(objects)))
+	for i := range objects {
+		e.PutString(objects[i].ID)
+		e.PutUvarint(uint64(len(objects[i].Data)))
+		cuts = append(cuts, e.Len())
+		shared = append(shared, objects[i].Data)
+	}
+	e.PutUvarint(uint64(len(events)))
+	for i := range events {
+		ev := &events[i]
+		e.PutUvarint(ev.Seq)
+		e.PutByte(byte(ev.Kind))
+		e.PutString(ev.ObjectID)
+		e.PutUvarint(uint64(len(ev.Data)))
+		cuts = append(cuts, e.Len())
+		shared = append(shared, ev.Data)
+		e.PutUvarint(ev.Sender)
+		e.PutVarint(ev.Time)
+	}
+
+	// The header buffer is complete; only now is it safe to slice it
+	// (earlier appends could have reallocated it).
+	hdr := e.Bytes()
+	s := &TransferStream{segs: make([][]byte, 0, 2*len(shared)+1)}
+	prev := 0
+	for i, c := range cuts {
+		if c > prev {
+			s.segs = append(s.segs, hdr[prev:c])
+		}
+		if len(shared[i]) > 0 {
+			s.segs = append(s.segs, shared[i])
+		}
+		prev = c
+	}
+	if len(hdr) > prev {
+		s.segs = append(s.segs, hdr[prev:])
+	}
+	for _, seg := range s.segs {
+		s.total += uint64(len(seg))
+	}
+	return s
+}
+
+// Total returns the payload size in bytes.
+func (s *TransferStream) Total() uint64 { return s.total }
+
+// Remaining returns the bytes not yet produced by Next.
+func (s *TransferStream) Remaining() uint64 { return s.total - s.sent }
+
+// Next produces the next chunk of at most max bytes, together with its
+// starting offset. It returns a nil chunk once the stream is drained. The
+// returned slice is reused by the following Next call; the caller must
+// consume (or copy) it first.
+func (s *TransferStream) Next(max int) (chunk []byte, offset uint64) {
+	if max <= 0 || s.sent == s.total {
+		return nil, s.sent
+	}
+	offset = s.sent
+	s.buf = s.buf[:0]
+	for len(s.buf) < max && s.pos < len(s.segs) {
+		seg := s.segs[s.pos][s.off:]
+		if n := max - len(s.buf); n < len(seg) {
+			s.buf = append(s.buf, seg[:n]...)
+			s.off += n
+		} else {
+			s.buf = append(s.buf, seg...)
+			s.pos++
+			s.off = 0
+		}
+	}
+	s.sent += uint64(len(s.buf))
+	return s.buf, offset
+}
+
+// DecodeTransferPayload decodes a reassembled transfer payload into its
+// objects and events. It is the inverse of draining a TransferStream.
+//
+// Object and event Data alias data: the caller hands over ownership of the
+// buffer. The payload of a large transfer is decoded exactly once, so
+// copying it out again would double the join's allocation volume for no
+// benefit.
+func DecodeTransferPayload(data []byte) ([]Object, []Event, error) {
+	d := NewDecoder(data)
+	objs := decodeObjectsAlias(d)
+	evs := decodeEventsAlias(d)
+	if err := d.Err(); err != nil {
+		return nil, nil, fmt.Errorf("wire: decode transfer payload: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("wire: transfer payload has %d trailing bytes", d.Remaining())
+	}
+	return objs, evs, nil
+}

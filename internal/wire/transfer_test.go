@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// referencePayload is the non-streamed encoding the stream must reproduce
+// byte for byte: objects then events, standard framing.
+func referencePayload(objs []Object, evs []Event) []byte {
+	e := NewEncoder(nil)
+	encodeObjects(e, objs)
+	encodeEvents(e, evs)
+	return e.Bytes()
+}
+
+func drain(t *testing.T, s *TransferStream, max int) []byte {
+	t.Helper()
+	var out []byte
+	for {
+		chunk, off := s.Next(max)
+		if chunk == nil {
+			break
+		}
+		if off != uint64(len(out)) {
+			t.Fatalf("chunk offset %d, want %d", off, len(out))
+		}
+		if len(chunk) > max {
+			t.Fatalf("chunk of %d bytes exceeds max %d", len(chunk), max)
+		}
+		out = append(out, chunk...)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after drain", s.Remaining())
+	}
+	return out
+}
+
+func TestTransferStreamMatchesInlineEncoding(t *testing.T) {
+	objs := []Object{
+		{ID: "alpha", Data: bytes.Repeat([]byte("A"), 1000)},
+		{ID: "empty"},
+		{ID: "beta", Data: []byte("b")},
+	}
+	evs := []Event{
+		{Seq: 41, Kind: EventState, ObjectID: "alpha", Data: []byte("fresh"), Sender: 7, Time: 1234},
+		{Seq: 42, Kind: EventUpdate, ObjectID: "beta", Data: nil, Sender: 8, Time: -5},
+	}
+	want := referencePayload(objs, evs)
+	for _, max := range []int{1, 7, 64, 1000, 1 << 20} {
+		s := NewTransferStream(objs, evs)
+		if s.Total() != uint64(len(want)) {
+			t.Fatalf("max %d: Total = %d, want %d", max, s.Total(), len(want))
+		}
+		got := drain(t, s, max)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("max %d: stream output differs from inline encoding", max)
+		}
+		gotObjs, gotEvs, err := DecodeTransferPayload(got)
+		if err != nil {
+			t.Fatalf("max %d: DecodeTransferPayload: %v", max, err)
+		}
+		if !reflect.DeepEqual(gotObjs, objs) {
+			t.Errorf("max %d: objects differ: %+v", max, gotObjs)
+		}
+		if !reflect.DeepEqual(gotEvs, evs) {
+			t.Errorf("max %d: events differ: %+v", max, gotEvs)
+		}
+	}
+}
+
+func TestTransferStreamEmpty(t *testing.T) {
+	s := NewTransferStream(nil, nil)
+	got := drain(t, s, TransferChunkSize)
+	objs, evs, err := DecodeTransferPayload(got)
+	if err != nil || objs != nil || evs != nil {
+		t.Fatalf("empty payload decoded to %v, %v, %v", objs, evs, err)
+	}
+}
+
+// TestTransferStreamSharesData is the O(1) claim: the stream must reference
+// the caller's data buffers, not copy them.
+func TestTransferStreamSharesData(t *testing.T) {
+	big := bytes.Repeat([]byte("x"), 4096)
+	s := NewTransferStream([]Object{{ID: "o", Data: big}}, nil)
+	found := false
+	for _, seg := range s.segs {
+		if len(seg) == len(big) && &seg[0] == &big[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("object data was copied into the stream, want shared segment")
+	}
+}
+
+func TestDecodeTransferPayloadErrors(t *testing.T) {
+	good := referencePayload([]Object{{ID: "o", Data: []byte("data")}}, nil)
+	if _, _, err := DecodeTransferPayload(good[:len(good)-2]); err == nil {
+		t.Error("truncated payload decoded without error")
+	}
+	if _, _, err := DecodeTransferPayload(append(good, 0xFF)); err == nil {
+		t.Error("payload with trailing bytes decoded without error")
+	}
+}
+
+func TestQuickTransferStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	blob := func(n int) []byte {
+		if n == 0 {
+			return nil
+		}
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	for iter := 0; iter < 100; iter++ {
+		var objs []Object
+		for i := 0; i < rng.Intn(5); i++ {
+			objs = append(objs, Object{ID: string(rune('a' + i)), Data: blob(rng.Intn(2000))})
+		}
+		var evs []Event
+		for i := 0; i < rng.Intn(5); i++ {
+			evs = append(evs, Event{
+				Seq: uint64(i + 1), Kind: EventUpdate, ObjectID: "o",
+				Data: blob(rng.Intn(2000)), Sender: uint64(rng.Intn(9)), Time: rng.Int63(),
+			})
+		}
+		max := 1 + rng.Intn(3000)
+		got := drain(t, NewTransferStream(objs, evs), max)
+		if want := referencePayload(objs, evs); !bytes.Equal(got, want) {
+			t.Fatalf("iter %d (max %d): stream output differs", iter, max)
+		}
+	}
+}

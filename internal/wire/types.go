@@ -138,6 +138,60 @@ func decodeObjects(d *Decoder) []Object {
 	return objs
 }
 
+// bytesAlias reads a length-prefixed byte string aliasing the decoder's
+// buffer, normalized to nil when empty so alias and copy decodes produce
+// identical values.
+func bytesAlias(d *Decoder) []byte {
+	b := d.Bytes()
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+// decodeObjectsAlias is decodeObjects with Data aliasing the decoder's
+// buffer; for callers that own the buffer outright (transfer reassembly).
+func decodeObjectsAlias(d *Decoder) []Object {
+	n := d.Uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	objs := make([]Object, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		objs = append(objs, Object{ID: d.String(), Data: bytesAlias(d)})
+	}
+	return objs
+}
+
+// decodeEventsAlias is decodeEvents with Data aliasing the decoder's
+// buffer; for callers that own the buffer outright (transfer reassembly).
+func decodeEventsAlias(d *Decoder) []Event {
+	n := d.Uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	evs := make([]Event, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		evs = append(evs, Event{
+			Seq:      d.Uvarint(),
+			Kind:     EventKind(d.Byte()),
+			ObjectID: d.String(),
+			Data:     bytesAlias(d),
+			Sender:   d.Uvarint(),
+			Time:     d.Varint(),
+		})
+	}
+	return evs
+}
+
 // TransferMode selects how the server transfers group state to a joining
 // client (paper §3.2, "customized state transfer").
 type TransferMode uint8

@@ -53,6 +53,13 @@ func TestRoundTripClientMessages(t *testing.T) {
 			Events:  []Event{sampleEvent(6), sampleEvent(7)},
 			Members: []MemberInfo{{ClientID: 1, Name: "alice", Role: RolePrincipal}},
 		},
+		&JoinAck{
+			RequestID: 5, Group: "g", NextSeq: 100, BaseSeq: 99,
+			Members:   []MemberInfo{{ClientID: 1, Name: "alice", Role: RolePrincipal}},
+			Streaming: true,
+		},
+		&TransferChunk{RequestID: 5, Group: "g", Offset: 512, Total: 4096, Data: []byte("chunkbytes")},
+		&TransferDone{RequestID: 5, Group: "g", Bytes: 4096},
 		&Leave{RequestID: 8, Group: "g"},
 		&LeaveAck{RequestID: 8},
 		&GetMembership{RequestID: 9, Group: "g"},

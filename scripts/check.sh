@@ -32,4 +32,7 @@ go test -run NONE -bench . -benchtime 1x ./... >/dev/null
 echo "== multigroup smoke"
 go run ./cmd/corona-bench -experiment multigroup -groups 1,2 -per-group 1 -duration 200ms >/dev/null
 
+echo "== jointransfer smoke"
+go run ./cmd/corona-bench -experiment jointransfer -jt-sizes 1 -jt-joins 1 -duration 200ms >/dev/null
+
 echo "OK"
