@@ -1,0 +1,12 @@
+package aliasretain_test
+
+import (
+	"testing"
+
+	"corona/internal/analysis/aliasretain"
+	"corona/internal/analysis/analysistest"
+)
+
+func TestAliasretain(t *testing.T) {
+	analysistest.Run(t, "testdata", aliasretain.Analyzer)
+}

@@ -1,0 +1,115 @@
+// Package wire is an aliasretain fixture: a decoder whose Bytes result
+// aliases the input, a payload decoder built on it, and a zero-copy
+// streaming path.
+package wire
+
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// Bytes returns the next n bytes of the input.
+//
+// corona:aliases-input — the result aliases the decode buffer; callers
+// must copy before retaining or mutating.
+func (d *Decoder) Bytes(n int) []byte {
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// DecodePayload splits data into object buffers and an event tail.
+//
+// corona:aliases-input — both results alias data.
+func DecodePayload(data []byte) (map[string][]byte, []byte, error) {
+	d := &Decoder{buf: data}
+	objects := map[string][]byte{}
+	objects["a"] = d.Bytes(4) // handoff into the aliased result set: fine
+	return objects, d.Bytes(4), nil
+}
+
+// ByteCopy is the explicit clone helper.
+func ByteCopy(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// --- conforming callers --------------------------------------------------
+
+type Frame struct {
+	payload []byte
+}
+
+func decodeFrame(data []byte) *Frame {
+	d := &Decoder{buf: data}
+	p := d.Bytes(8)
+	return &Frame{payload: p} // composite-literal handoff: fine
+}
+
+func decodeAndCopy(data []byte) *Frame {
+	d := &Decoder{buf: data}
+	f := &Frame{}
+	f.payload = ByteCopy(d.Bytes(8)) // copied first: fine
+	return f
+}
+
+// --- violating callers ---------------------------------------------------
+
+var lastPayload []byte
+
+type Session struct {
+	scratch []byte
+}
+
+func (s *Session) retain(data []byte) {
+	d := &Decoder{buf: data}
+	p := d.Bytes(8)
+	s.scratch = p // want `aliasing the decode input \(from Bytes\) retained in s\.scratch`
+}
+
+func retainGlobal(data []byte) {
+	d := &Decoder{buf: data}
+	lastPayload = d.Bytes(8) // want `aliasing the decode input \(from Bytes\) retained in package-level lastPayload`
+}
+
+func mutate(data []byte) {
+	d := &Decoder{buf: data}
+	p := d.Bytes(8)
+	p[0] = 1            // want `write through slice aliasing the decode input \(from Bytes\)`
+	copy(p, data)       // want `copy into slice aliasing the decode input \(from Bytes\)`
+	_ = append(p, 0xff) // want `append building on slice aliasing the decode input \(from Bytes\)`
+}
+
+func mutateViaPayload(data []byte) {
+	objects, tail, _ := DecodePayload(data)
+	objects["a"][0] = 1 // want `write through slice aliasing the decode input \(from DecodePayload\)`
+	tail[1] = 2         // want `write through slice aliasing the decode input \(from DecodePayload\)`
+}
+
+func allowedRetain(data []byte, s *Session) {
+	d := &Decoder{buf: data}
+	//lint:allow aliasretain scratch is reset before the next decode
+	s.scratch = d.Bytes(8)
+}
+
+// --- zero-copy path ------------------------------------------------------
+
+// StreamNext hands a chunk straight from the payload.
+//
+// corona:zerocopy — no defensive copies on this path.
+func StreamNext(payload []byte, n int) []byte {
+	if n > len(payload) {
+		n = len(payload)
+	}
+	return payload[:n] // fine: sliced, not copied
+}
+
+// StreamNextSlow regresses the zero-copy contract.
+//
+// corona:zerocopy
+func StreamNextSlow(payload []byte, n int) []byte {
+	chunk := ByteCopy(payload[:n])        // want `needless copy on //corona:zerocopy path: ByteCopy`
+	chunk = append([]byte(nil), chunk...) // want `needless copy on //corona:zerocopy path: append onto a fresh base`
+	return chunk
+}

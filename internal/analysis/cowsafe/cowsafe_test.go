@@ -1,0 +1,12 @@
+package cowsafe_test
+
+import (
+	"testing"
+
+	"corona/internal/analysis/analysistest"
+	"corona/internal/analysis/cowsafe"
+)
+
+func TestCowsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", cowsafe.Analyzer)
+}

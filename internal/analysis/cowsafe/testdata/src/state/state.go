@@ -1,0 +1,119 @@
+// Package state is a cowsafe fixture mirroring the real COW shapes:
+// live Group state captured into Transfer views that alias its buffers.
+package state
+
+type Event struct {
+	ObjectID string
+	Data     []byte
+}
+
+type Group struct {
+	objects map[string][]byte //corona:cow
+	history []Event           //corona:cow
+	nextSeq uint64            // unmarked: free to mutate
+}
+
+type Transfer struct {
+	objects map[string][]byte //corona:cow-view
+	events  []Event           //corona:cow-view
+}
+
+// --- conforming live-side code ------------------------------------------
+
+func newGroup() *Group {
+	return &Group{objects: make(map[string][]byte)}
+}
+
+func (g *Group) applyState(ev Event) {
+	g.objects[ev.ObjectID] = cloneBytes(ev.Data) // fresh clone: fine
+	g.nextSeq++
+}
+
+func (g *Group) applyUpdate(ev Event) {
+	// Append-to-self: lands past every captured length. Fine.
+	g.objects[ev.ObjectID] = append(g.objects[ev.ObjectID], ev.Data...)
+	g.history = append(g.history, ev)
+}
+
+func (g *Group) reduce(idx int) {
+	// Fresh backing array for the retained tail: fine.
+	g.history = append([]Event(nil), g.history[idx:]...)
+}
+
+func (g *Group) reset() {
+	g.objects = make(map[string][]byte) // fresh map: fine
+	g.history = nil                     // nil install: fine
+	delete(g.objects, "x")              // delete never writes into a buffer: fine
+}
+
+func (g *Group) capture() *Transfer {
+	t := &Transfer{objects: make(map[string][]byte)}
+	for id, data := range g.objects {
+		t.objects[id] = data // sharing INTO a view is the point: fine
+	}
+	t.events = g.history[2:] // view field may alias live history: fine
+	return t
+}
+
+// --- violations ----------------------------------------------------------
+
+func (g *Group) patchInPlace(id string, b byte) {
+	g.objects[id][0] = b // want `write into COW-shared buffer`
+}
+
+func (g *Group) patchViaLocal(id string, b byte) {
+	buf := g.objects[id]
+	buf[0] = b // want `write into COW-shared buffer`
+}
+
+func (g *Group) patchHistory(ev Event) {
+	g.history[0] = ev // want `write into COW-shared buffer`
+}
+
+func (g *Group) patchRangeValue(b byte) {
+	for _, data := range g.objects {
+		data[0] = b // want `write into COW-shared buffer`
+	}
+}
+
+func (g *Group) patchEventData(b byte) {
+	for _, ev := range g.history {
+		ev.Data[0] = b // want `write into COW-shared buffer`
+	}
+}
+
+func (g *Group) copyOver(id string, src []byte) {
+	copy(g.objects[id], src) // want `copy into COW-shared buffer`
+}
+
+func (g *Group) installShared(id string, data []byte) {
+	g.objects[id] = data // want `install into COW field g\.objects must be a fresh buffer`
+}
+
+func (g *Group) reSlice(idx int) {
+	g.history = g.history[idx:] // want `install into COW field g\.history must be a fresh buffer`
+}
+
+func (g *Group) escapingAppend(id string, b byte) []byte {
+	return append(g.objects[id], b) // want `append to COW-shared buffer g\.objects\[id\] escapes`
+}
+
+func (t *Transfer) mutateView(b byte, src []byte) {
+	t.events[0] = Event{}     // want `write into captured COW view buffer`
+	t.objects["x"][0] = b     // want `write into captured COW view buffer`
+	copy(t.objects["x"], src) // want `copy into captured COW view buffer`
+}
+
+func (g *Group) allowedExample(id string, data []byte) {
+	//lint:allow cowsafe data is private to this group, proven by caller
+	g.objects[id] = data
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,675 @@
+// Package lockhold flags blocking operations reachable while an
+// internal/core engine or per-group mutex is held.
+//
+// PR 2 shrank the engine's lock-hold windows (read lock + per-group mutex
+// on the multicast hot path) and PR 3 bounded the join write-lock hold to
+// membership + O(1) capture. Both invariants previously lived only in
+// comments and in the join_lock_hold_ns / bcast_lock_wait_ns histograms,
+// which catch regressions at runtime, probabilistically. This analyzer is
+// the static complement: inside every Lock()/RLock() … Unlock() span of a
+// package named "core", it rejects operations that can block — channel
+// sends and receives (unless in a select with a default), selects without
+// a default, time.Sleep, file and network I/O, log/fmt output, and the
+// WAL's synchronous Append/Barrier — whether they appear directly in the
+// span or anywhere in the static call graph below it. Calls through
+// interfaces are resolved against every implementation in the analyzed
+// program, so a committer hidden behind an interface is not a blind spot;
+// calls through plain function values (e.g. the engine's Hooks fields,
+// documented must-not-block) are the one acknowledged hole.
+//
+// Nested sync.Mutex acquisition is deliberately not "blocking": short
+// nested critical sections (seq, obs, the WAL's pending queue) are part
+// of the design, and lock-ordering is a different analyzer's job.
+package lockhold
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"corona/internal/analysis"
+)
+
+// Analyzer is the lockhold checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "flags blocking operations reachable while a core engine or per-group mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := newChecker(pass)
+	for _, pkg := range pass.Pkgs {
+		if pkg.Name != "core" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					c.checkSpans(pkg, fd.Body.List, newLockEnv())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checker owns the whole-program call-graph state.
+type checker struct {
+	pass *analysis.Pass
+	// bodies maps every function declared in the analyzed program to its
+	// body and owning package.
+	bodies map[*types.Func]*funcBody
+	// reasons memoizes blocking classification per function.
+	reasons map[*types.Func]*reason
+	state   map[*types.Func]int // 0 unvisited, 1 visiting, 2 done
+	// named lists every named type of the program, for resolving
+	// interface method calls to their implementations.
+	named []*types.Named
+}
+
+type funcBody struct {
+	pkg  *analysis.Package
+	decl *ast.FuncDecl
+}
+
+// reason explains why a function (or operation) blocks. A nil *reason
+// means "does not block".
+type reason struct {
+	desc  string   // e.g. "channel receive", "call to (*os.File).Sync"
+	chain []string // call chain from the checked function to the root op
+}
+
+func (r *reason) String() string {
+	if len(r.chain) == 0 {
+		return r.desc
+	}
+	return fmt.Sprintf("%s (via %s)", r.desc, strings.Join(r.chain, " → "))
+}
+
+func newChecker(pass *analysis.Pass) *checker {
+	c := &checker{
+		pass:    pass,
+		bodies:  map[*types.Func]*funcBody{},
+		reasons: map[*types.Func]*reason{},
+		state:   map[*types.Func]int{},
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					c.bodies[fn] = &funcBody{pkg: pkg, decl: fd}
+				}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if n, ok := tn.Type().(*types.Named); ok {
+					c.named = append(c.named, n)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// ---- lock-span walking -------------------------------------------------
+
+// lockEnv tracks the mutexes held at a program point, keyed by the
+// canonical text of the receiver expression ("e.mu", "gmu").
+type lockEnv struct {
+	order []string
+	held  map[string]*heldLock
+}
+
+type heldLock struct {
+	name string
+	// deferredRelease is set once `defer x.Unlock()` has been seen: the
+	// lock is then held for the remainder of the function, and any defer
+	// registered afterwards runs before the release (LIFO), i.e. still
+	// under the lock.
+	deferredRelease bool
+}
+
+func newLockEnv() *lockEnv {
+	return &lockEnv{held: map[string]*heldLock{}}
+}
+
+func (e *lockEnv) clone() *lockEnv {
+	c := newLockEnv()
+	c.order = append(c.order, e.order...)
+	for k, v := range e.held {
+		cp := *v
+		c.held[k] = &cp
+	}
+	return c
+}
+
+func (e *lockEnv) acquire(key string) {
+	if _, ok := e.held[key]; !ok {
+		e.order = append(e.order, key)
+	}
+	e.held[key] = &heldLock{name: key}
+}
+
+func (e *lockEnv) release(key string) {
+	delete(e.held, key)
+	for i, k := range e.order {
+		if k == key {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (e *lockEnv) any() *heldLock {
+	for i := len(e.order) - 1; i >= 0; i-- {
+		if l, ok := e.held[e.order[i]]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (e *lockEnv) anyDeferredRelease() *heldLock {
+	for i := len(e.order) - 1; i >= 0; i-- {
+		if l, ok := e.held[e.order[i]]; ok && l.deferredRelease {
+			return l
+		}
+	}
+	return nil
+}
+
+// checkSpans walks a statement list, maintaining the set of held locks
+// and checking every expression evaluated while it is non-empty.
+func (c *checker) checkSpans(pkg *analysis.Package, stmts []ast.Stmt, env *lockEnv) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if key, op, ok := mutexOp(pkg.Info, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					env.acquire(key)
+				case "Unlock", "RUnlock":
+					env.release(key)
+				}
+				continue
+			}
+			c.checkExpr(pkg, s.X, env)
+		case *ast.DeferStmt:
+			if key, op, ok := mutexOp(pkg.Info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				if l, held := env.held[key]; held {
+					l.deferredRelease = true
+				}
+				continue
+			}
+			// A defer registered after a deferred unlock runs before it
+			// (LIFO), i.e. with the lock still held.
+			if l := env.anyDeferredRelease(); l != nil {
+				c.checkDeferred(pkg, s.Call, l)
+			}
+		case *ast.AssignStmt, *ast.DeclStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.SendStmt:
+			c.checkExpr(pkg, s, env)
+		case *ast.GoStmt:
+			// The goroutine body runs without the lock; only the call's
+			// arguments are evaluated here.
+			for _, a := range s.Call.Args {
+				c.checkExpr(pkg, a, env)
+			}
+		case *ast.BlockStmt:
+			c.checkSpans(pkg, s.List, env)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				c.checkExpr(pkg, s.Init, env)
+			}
+			c.checkExpr(pkg, s.Cond, env)
+			c.checkSpans(pkg, s.Body.List, env.clone())
+			if s.Else != nil {
+				c.checkSpans(pkg, []ast.Stmt{s.Else}, env.clone())
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				c.checkExpr(pkg, s.Init, env)
+			}
+			if s.Cond != nil {
+				c.checkExpr(pkg, s.Cond, env)
+			}
+			inner := env.clone()
+			c.checkSpans(pkg, s.Body.List, inner)
+			if s.Post != nil {
+				c.checkExpr(pkg, s.Post, inner)
+			}
+		case *ast.RangeStmt:
+			c.checkExpr(pkg, s.X, env)
+			if env.any() != nil && isChan(pkg.Info, s.X) {
+				c.report(s.X.Pos(), env.any(), &reason{desc: "range over channel"})
+			}
+			c.checkSpans(pkg, s.Body.List, env.clone())
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				c.checkExpr(pkg, s.Init, env)
+			}
+			if s.Tag != nil {
+				c.checkExpr(pkg, s.Tag, env)
+			}
+			for _, cc := range s.Body.List {
+				c.checkSpans(pkg, cc.(*ast.CaseClause).Body, env.clone())
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				c.checkExpr(pkg, s.Init, env)
+			}
+			for _, cc := range s.Body.List {
+				c.checkSpans(pkg, cc.(*ast.CaseClause).Body, env.clone())
+			}
+		case *ast.SelectStmt:
+			if l := env.any(); l != nil && !hasDefault(s) {
+				c.report(s.Pos(), l, &reason{desc: "select without default"})
+			}
+			for _, cl := range s.Body.List {
+				c.checkSpans(pkg, cl.(*ast.CommClause).Body, env.clone())
+			}
+		case *ast.LabeledStmt:
+			c.checkSpans(pkg, []ast.Stmt{s.Stmt}, env)
+		default:
+			c.checkExpr(pkg, s, env)
+		}
+	}
+}
+
+// checkDeferred checks a call deferred while lock l is (and stays) held.
+func (c *checker) checkDeferred(pkg *analysis.Package, call *ast.CallExpr, l *heldLock) {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		c.checkNode(pkg, lit.Body, l, "deferred while %q is held (runs before the deferred unlock)")
+		return
+	}
+	if r := c.callReason(pkg, call); r != nil {
+		c.reportf(call.Pos(), l, r, "deferred while %q is held (runs before the deferred unlock)")
+	}
+}
+
+// checkExpr reports blocking operations in the subtree rooted at n when a
+// lock is held.
+func (c *checker) checkExpr(pkg *analysis.Package, n ast.Node, env *lockEnv) {
+	l := env.any()
+	if l == nil {
+		return
+	}
+	c.checkNode(pkg, n, l, "while %q is held")
+}
+
+func (c *checker) checkNode(pkg *analysis.Package, n ast.Node, l *heldLock, format string) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				c.checkNode(pkg, a, l, format)
+			}
+			return false
+		case *ast.FuncLit:
+			return false // not executed here unless immediately invoked (CallExpr case recurses)
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				c.reportf(n.Pos(), l, &reason{desc: "select without default"}, format)
+			}
+			// Comm ops of a select with default never block; clause
+			// bodies run after a successful comm, still under the lock.
+			for _, cl := range n.Body.List {
+				for _, s := range cl.(*ast.CommClause).Body {
+					c.checkNode(pkg, s, l, format)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			c.reportf(n.Pos(), l, &reason{desc: "channel send"}, format)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.reportf(n.Pos(), l, &reason{desc: "channel receive"}, format)
+			}
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				// Immediately invoked: the body runs here, under the lock.
+				c.checkNode(pkg, lit.Body, l, format)
+				for _, a := range n.Args {
+					c.checkNode(pkg, a, l, format)
+				}
+				return false
+			}
+			if r := c.callReason(pkg, n); r != nil {
+				c.reportf(n.Pos(), l, r, format)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) report(pos token.Pos, l *heldLock, r *reason) {
+	c.reportf(pos, l, r, "while %q is held")
+}
+
+func (c *checker) reportf(pos token.Pos, l *heldLock, r *reason, format string) {
+	c.pass.Reportf(pos, "%s "+format, r, l.name)
+}
+
+// ---- call resolution and blocking classification -----------------------
+
+// callReason classifies one call expression: nil means it cannot be shown
+// to block.
+func (c *checker) callReason(pkg *analysis.Package, call *ast.CallExpr) *reason {
+	// Conversions are not calls.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil
+	}
+	for _, callee := range c.callees(pkg, call) {
+		if r := c.funcReason(callee); r != nil {
+			return c.chained(callee, r)
+		}
+	}
+	return nil
+}
+
+// chained prefixes callee to r's call chain — unless the callee is itself
+// the root blocking operation (an unanalyzed function classified by the
+// blocklist), where a "via" chain would just repeat its name.
+func (c *checker) chained(callee *types.Func, r *reason) *reason {
+	if _, analyzed := c.bodies[callee]; !analyzed && len(r.chain) == 0 {
+		return r
+	}
+	return &reason{desc: r.desc, chain: append([]string{funcName(callee)}, r.chain...)}
+}
+
+// callees resolves a call to the functions it may invoke: one for a
+// static call, every analyzed implementation for an interface method
+// call, none for calls through plain function values.
+func (c *checker) callees(pkg *analysis.Package, call *ast.CallExpr) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil // function-typed field: cannot resolve
+			}
+			if sel.Kind() == types.MethodVal && types.IsInterface(derefType(sel.Recv())) {
+				return c.implementations(derefType(sel.Recv()).Underlying().(*types.Interface), fn)
+			}
+			return []*types.Func{fn}
+		}
+		// Package-qualified call (fmt.Println).
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	}
+	return nil
+}
+
+// implementations returns the concrete methods the interface method m may
+// dispatch to: for every named type of the analyzed program implementing
+// iface, the method with m's name. The interface method itself is kept as
+// a candidate so stdlib interfaces (io.Writer, net.Conn) classify by
+// name even with no analyzed implementation.
+func (c *checker) implementations(iface *types.Interface, m *types.Func) []*types.Func {
+	out := []*types.Func{m}
+	for _, n := range c.named {
+		if types.IsInterface(n) {
+			continue
+		}
+		ptr := types.NewPointer(n)
+		if !types.Implements(n, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// funcReason classifies one function: nil means not blocking. Analyzed
+// functions are classified by their bodies, recursively; everything else
+// by the stdlib blocklist.
+func (c *checker) funcReason(fn *types.Func) *reason {
+	if r, ok := c.reasons[fn]; ok && c.state[fn] == 2 {
+		return r
+	}
+	if c.state[fn] == 1 {
+		// Recursion cycle: assume the cycle itself does not block (any
+		// blocking op inside it is still found on the first visit).
+		return nil
+	}
+	body, analyzed := c.bodies[fn]
+	if !analyzed {
+		r := stdBlocking(fn)
+		c.reasons[fn], c.state[fn] = r, 2
+		return r
+	}
+	c.state[fn] = 1
+	r := c.bodyReason(body)
+	c.reasons[fn], c.state[fn] = r, 2
+	return r
+}
+
+// bodyReason finds the first blocking operation in an analyzed function
+// body. Goroutine launches and non-invoked function literals are skipped:
+// their bodies do not run on the caller's stack.
+func (c *checker) bodyReason(b *funcBody) *reason {
+	var found *reason
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				ast.Inspect(a, walk)
+			}
+			return false
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				found = &reason{desc: "select without default"}
+				return false
+			}
+			for _, cl := range n.Body.List {
+				for _, s := range cl.(*ast.CommClause).Body {
+					ast.Inspect(s, walk)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			found = &reason{desc: "channel send"}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = &reason{desc: "channel receive"}
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChan(b.pkg.Info, n.X) {
+				found = &reason{desc: "range over channel"}
+				return false
+			}
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, walk)
+				for _, a := range n.Args {
+					ast.Inspect(a, walk)
+				}
+				return false
+			}
+			if tv, ok := b.pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true
+			}
+			for _, callee := range c.callees(b.pkg, n) {
+				if r := c.funcReason(callee); r != nil {
+					found = c.chained(callee, r)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(b.decl.Body, walk)
+	return found
+}
+
+// stdBlocking classifies functions with no analyzed body — the standard
+// library, mostly — by package path, receiver, and name.
+func stdBlocking(fn *types.Func) *reason {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	path, name := pkg.Path(), fn.Name()
+	mk := func(kind string) *reason {
+		return &reason{desc: fmt.Sprintf("%s [%s]", funcName(fn), kind)}
+	}
+	switch path {
+	case "time":
+		if name == "Sleep" {
+			return mk("sleep")
+		}
+	case "fmt":
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln",
+			"Scan", "Scanf", "Scanln", "Fscan", "Fscanf", "Fscanln":
+			return mk("I/O")
+		}
+	case "log":
+		return mk("logging")
+	case "log/slog":
+		switch name {
+		case "Debug", "DebugContext", "Info", "InfoContext", "Warn", "WarnContext",
+			"Error", "ErrorContext", "Log", "LogAttrs":
+			return mk("logging")
+		}
+	case "os":
+		switch name {
+		case "Read", "ReadAt", "ReadFrom", "Write", "WriteAt", "WriteString",
+			"WriteTo", "Sync", "Close", "Truncate", // (*os.File) methods
+			"Open", "OpenFile", "Create", "ReadFile", "WriteFile", "ReadDir",
+			"Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll", "Stat", "Lstat":
+			return mk("file I/O")
+		}
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull", "ReadAtLeast",
+			"WriteString", "Pipe", "Read", "Write", "Close":
+			return mk("I/O")
+		}
+	case "bufio":
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Flush", "ReadFrom",
+			"Read", "ReadByte", "ReadBytes", "ReadString", "ReadSlice", "ReadRune",
+			"Peek", "Discard", "Scan":
+			return mk("buffered I/O")
+		}
+	case "net":
+		if strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen") {
+			return mk("network I/O")
+		}
+		switch name {
+		case "Read", "Write", "Close", "Accept", "ReadFrom", "WriteTo":
+			return mk("network I/O")
+		}
+	case "sync":
+		if name == "Wait" { // WaitGroup.Wait, Cond.Wait
+			return mk("wait")
+		}
+	}
+	// The WAL's synchronous entry points are blocking by contract (file
+	// write + fsync / barrier wait), independent of whether their bodies
+	// are analyzed here.
+	if pkg.Name() == "wal" {
+		switch name {
+		case "Append", "Barrier", "Sync", "Close":
+			return mk("WAL I/O")
+		}
+	}
+	return nil
+}
+
+// ---- small helpers -----------------------------------------------------
+
+// mutexOp matches x.Lock / x.RLock / x.Unlock / x.RUnlock calls on
+// sync.Mutex or sync.RWMutex values and returns the canonical receiver
+// text as span key.
+func mutexOp(info *types.Info, e ast.Expr) (key, op string, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return "", "", false
+	}
+	recv := derefType(s.Recv())
+	n, ok := recv.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cl.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func funcName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

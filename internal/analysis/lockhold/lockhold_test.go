@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"corona/internal/analysis/analysistest"
+	"corona/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer)
+}

@@ -1,0 +1,51 @@
+// Package wal is a fixture stand-in for the real WAL: a synchronous
+// Append that blocks on file I/O, a non-blocking AppendAsync, and a
+// Committer interface so the interface-dispatch walk has something to
+// resolve.
+package wal
+
+import "os"
+
+type Log struct {
+	f    *os.File
+	pend chan []byte
+}
+
+// Append blocks: buffered write plus fsync.
+func (l *Log) Append(rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// AppendAsync is non-blocking: enqueue with overflow fallback.
+func (l *Log) AppendAsync(rec []byte) bool {
+	select {
+	case l.pend <- rec:
+		return true
+	default:
+		return false
+	}
+}
+
+// Committer is the interface the engine fixture calls through; lockhold
+// must resolve Commit to every analyzed implementation.
+type Committer interface {
+	Commit(rec []byte) error
+}
+
+// FileCommitter is the blocking implementation.
+type FileCommitter struct {
+	log *Log
+}
+
+func (c *FileCommitter) Commit(rec []byte) error {
+	return c.log.Append(rec)
+}
+
+// NullCommitter is a non-blocking implementation; it alone must not
+// trigger a finding.
+type NullCommitter struct{}
+
+func (NullCommitter) Commit(rec []byte) error { return nil }

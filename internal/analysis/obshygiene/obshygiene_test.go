@@ -1,0 +1,12 @@
+package obshygiene_test
+
+import (
+	"testing"
+
+	"corona/internal/analysis/analysistest"
+	"corona/internal/analysis/obshygiene"
+)
+
+func TestObshygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", obshygiene.Analyzer)
+}

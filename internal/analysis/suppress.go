@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// allowPrefix is the suppression directive marker. The full form is
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory: a suppression without a recorded justification
+// defeats the point of making exceptions auditable, so a reason-less
+// directive is reported as a finding in its own right.
+const allowPrefix = "lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzers []string
+	reason    string
+}
+
+// parseAllow parses the text of one comment (with or without the leading
+// "//"). It returns ok=false when the comment is not a lint:allow
+// directive at all, and malformed=true when it is one but lacks an
+// analyzer name or a reason.
+func parseAllow(text string) (d allowDirective, ok, malformed bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, allowPrefix) {
+		return allowDirective{}, false, false
+	}
+	rest := strings.TrimSpace(text[len(allowPrefix):])
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return allowDirective{}, true, true
+	}
+	d.analyzers = strings.Split(fields[0], ",")
+	for _, a := range d.analyzers {
+		if a == "" {
+			return allowDirective{}, true, true
+		}
+	}
+	d.reason = strings.Join(fields[1:], " ")
+	return d, true, false
+}
+
+// An AllowSite is one //lint:allow directive, surfaced for auditing
+// (corona-lint -allows).
+type AllowSite struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+}
+
+// Allows lists every well-formed suppression directive in the program,
+// in source order.
+func Allows(prog *Program) []AllowSite {
+	var out []AllowSite
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if d, ok, malformed := parseAllow(c.Text); ok && !malformed {
+						out = append(out, AllowSite{
+							Pos:       prog.Fset.Position(c.Pos()),
+							Analyzers: d.analyzers,
+							Reason:    d.reason,
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// suppressions indexes every well-formed directive by the lines it
+// covers, and retains malformed ones as diagnostics.
+type suppressions struct {
+	byLine    map[string]map[int][]allowDirective
+	malformed []Diagnostic
+}
+
+// allows reports whether a finding by the named analyzer at pos is
+// covered by a directive.
+func (s *suppressions) allows(analyzer string, pos token.Position) bool {
+	for _, d := range s.byLine[pos.Filename][pos.Line] {
+		for _, a := range d.analyzers {
+			if a == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment of the program. A directive
+// covers its own line; a directive that is alone on its line (only
+// whitespace before it) also covers the following line, so it can sit
+// above the statement it excuses.
+func collectSuppressions(prog *Program) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]allowDirective{}}
+	lineCache := map[string][]string{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok, malformed := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					if malformed {
+						s.malformed = append(s.malformed, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed lint:allow directive: need //lint:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					cover(s, pos.Filename, pos.Line, d)
+					if standalone(lineCache, pos) {
+						cover(s, pos.Filename, pos.Line+1, d)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func cover(s *suppressions, file string, line int, d allowDirective) {
+	m := s.byLine[file]
+	if m == nil {
+		m = map[int][]allowDirective{}
+		s.byLine[file] = m
+	}
+	m[line] = append(m[line], d)
+}
+
+// standalone reports whether the comment at pos has nothing but
+// whitespace before it on its source line.
+func standalone(cache map[string][]string, pos token.Position) bool {
+	if pos.Column == 1 {
+		return true
+	}
+	lines, ok := cache[pos.Filename]
+	if !ok {
+		data, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			cache[pos.Filename] = nil
+			return false
+		}
+		lines = strings.Split(string(data), "\n")
+		cache[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) {
+		return false
+	}
+	prefix := lines[pos.Line-1]
+	if pos.Column-1 <= len(prefix) {
+		prefix = prefix[:pos.Column-1]
+	}
+	return strings.TrimSpace(prefix) == ""
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text          string
+		want          allowDirective
+		ok, malformed bool
+	}{
+		{"//lint:allow lockhold shutdown path, single-threaded",
+			allowDirective{analyzers: []string{"lockhold"}, reason: "shutdown path, single-threaded"}, true, false},
+		{"// lint:allow cowsafe buffer proven private",
+			allowDirective{analyzers: []string{"cowsafe"}, reason: "buffer proven private"}, true, false},
+		{"//lint:allow lockhold,obshygiene startup only",
+			allowDirective{analyzers: []string{"lockhold", "obshygiene"}, reason: "startup only"}, true, false},
+		// Not directives at all.
+		{"// plain comment", allowDirective{}, false, false},
+		{"//nolint:gocritic", allowDirective{}, false, false},
+		// Directives missing the mandatory parts.
+		{"//lint:allow", allowDirective{}, true, true},
+		{"//lint:allow lockhold", allowDirective{}, true, true}, // no reason
+		{"//lint:allow ,lockhold some reason", allowDirective{}, true, true},
+	}
+	for _, c := range cases {
+		d, ok, malformed := parseAllow(c.text)
+		if ok != c.ok || malformed != c.malformed {
+			t.Errorf("parseAllow(%q): ok=%v malformed=%v, want ok=%v malformed=%v",
+				c.text, ok, malformed, c.ok, c.malformed)
+			continue
+		}
+		if ok && !malformed && !reflect.DeepEqual(d, c.want) {
+			t.Errorf("parseAllow(%q) = %+v, want %+v", c.text, d, c.want)
+		}
+	}
+}
+
+func TestSuppressionCoverage(t *testing.T) {
+	s := &suppressions{byLine: map[string]map[int][]allowDirective{}}
+	d := allowDirective{analyzers: []string{"lockhold"}, reason: "r"}
+	cover(s, "f.go", 10, d)
+
+	pos := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	if !s.allows("lockhold", pos(10)) {
+		t.Error("directive does not cover its own line")
+	}
+	if s.allows("lockhold", pos(11)) {
+		t.Error("inline directive must not leak to the next line")
+	}
+	if s.allows("cowsafe", pos(10)) {
+		t.Error("directive covers an analyzer it does not name")
+	}
+	if s.allows("lockhold", token.Position{Filename: "g.go", Line: 10}) {
+		t.Error("directive covers another file")
+	}
+}

@@ -438,7 +438,13 @@ func (c *Client) transferDone(m *wire.TransferDone) {
 		c.completeRequest(&wire.ErrorMsg{RequestID: ack.RequestID, Code: wire.CodeInternal, Text: err.Error()})
 		return
 	}
+	// The reassembly buffer t.buf belongs to this transfer alone;
+	// DecodeTransferPayload's contract hands its ownership to the
+	// results, so retaining the aliases in the ack is the intended
+	// zero-copy completion.
+	//lint:allow aliasretain t.buf ownership transfers to the decoded results
 	ack.Objects = objs
+	//lint:allow aliasretain t.buf ownership transfers to the decoded results
 	ack.Events = evs
 	ack.Streaming = false
 	// Install the resume cursor before flushing so the buffered events

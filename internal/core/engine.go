@@ -118,6 +118,26 @@ type Hooks struct {
 	Intercept func(s *Session, msg wire.Message) bool
 }
 
+// walLog is the engine's view of the stable-storage log, satisfied by
+// *wal.Log. An interface rather than the concrete type so tests can
+// substitute the committer — and so the blocking-ness of the log stays
+// visible to lockhold through interface dispatch rather than hiding
+// behind a seam.
+type walLog interface {
+	// AppendAsync queues a record for group commit; done runs on the
+	// committer goroutine after the batch's write (and fsync, per policy).
+	AppendAsync(payload []byte, done func(lsn uint64, err error)) error
+	// Barrier blocks until everything queued so far is durable.
+	Barrier() error
+	// Replay streams records at or after from, in LSN order.
+	Replay(from uint64, fn func(lsn uint64, payload []byte) error) error
+	// TruncateBefore drops whole segments strictly below lsn.
+	TruncateBefore(lsn uint64) error
+	// SegmentCount reports the live segment count (GC observability).
+	SegmentCount() int
+	Close() error
+}
+
 // Engine is the stateful multicast service core.
 //
 // Locking protocol. e.mu guards the registries (reg, states, groupMus,
@@ -143,7 +163,7 @@ type Engine struct {
 	locks      *locks.Table
 	seqr       *seq.Sequencer
 	sessions   map[uint64]*Session
-	wal        *wal.Log // nil when Dir == "" or Stateless
+	wal        walLog // nil when Dir == "" or Stateless
 	nextClient uint64
 	closed     bool
 
@@ -161,6 +181,7 @@ type Engine struct {
 	mTransferBytes    *obs.Counter
 	mTransferChunks   *obs.Counter
 	mWALErrors        *obs.Counter
+	mApplyErrors      *obs.Counter
 	gSessions         *obs.Gauge
 	gGroups           *obs.Gauge
 	gTransferInflight *obs.Gauge
@@ -222,6 +243,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		mTransferBytes:    metrics.Counter("engine.transfer_bytes"),
 		mTransferChunks:   metrics.Counter("engine.transfer_chunks"),
 		mWALErrors:        metrics.Counter("engine.wal_append_errors"),
+		mApplyErrors:      metrics.Counter("engine.apply_errors"),
 		gSessions:         metrics.Gauge("engine.sessions"),
 		gGroups:           metrics.Gauge("engine.groups"),
 		gTransferInflight: metrics.Gauge("engine.transfer_inflight_bytes"),

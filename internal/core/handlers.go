@@ -440,8 +440,13 @@ func (e *Engine) applyAndFanout(name string, g *membership.Group, ev wire.Event,
 	st := e.getState(name)
 	if st != nil {
 		if err := st.Apply(ev); err != nil {
-			// A sequencing bug; log loudly but keep serving.
-			e.log.Error("apply failed", "group", name, "seq", ev.Seq, "err", err)
+			// A sequencing bug; keep serving. Callers hold e.mu and the
+			// group mutex, where blocking log I/O is forbidden (lockhold):
+			// the counter and trace ring carry the in-band signal and the
+			// loud slog line runs from its own goroutine.
+			e.mApplyErrors.Inc()
+			e.metrics.Event("core", fmt.Sprintf("apply failed: group=%s seq=%d: %v", name, ev.Seq, err))
+			go e.log.Error("apply failed", "group", name, "seq", ev.Seq, "err", err)
 			return false
 		}
 	}

@@ -216,6 +216,18 @@ func (e *Engine) finishRecover() {
 // losing the latest updates on a crash, so a lost record only weakens
 // recovery, not the live service.
 
+// walAppendFailed records a failed enqueue. Callers hold e.mu or a group
+// mutex, where blocking log I/O is forbidden (lockhold): the counter and
+// the lock-free trace ring carry the immediate signal, and the slog line
+// is emitted from its own goroutine, off the locked path. Failures of
+// records that did enqueue are logged directly by the commit callbacks,
+// which run on the WAL committer goroutine.
+func (e *Engine) walAppendFailed(group, record string, err error) {
+	e.mWALErrors.Inc()
+	e.metrics.Event("wal", fmt.Sprintf("%s enqueue failed: group=%s: %v", record, group, err))
+	go e.log.Error("wal append failed", "group", group, "record", record, "err", err)
+}
+
 // persistEvent queues one applied event record of a persistent group for
 // group commit. With SyncAlways and a non-nil onDurable the acknowledgement
 // runs from the commit callback — i.e. after the batch's fsync — and
@@ -240,8 +252,7 @@ func (e *Engine) persistEvent(group string, persistent bool, ev wire.Event, onDu
 		}
 	})
 	if err != nil {
-		e.mWALErrors.Inc()
-		e.log.Error("wal append failed", "group", group, "err", err)
+		e.walAppendFailed(group, "event", err)
 		return false
 	}
 	return deferAck
@@ -264,8 +275,7 @@ func (e *Engine) persistCreate(group string, persistent bool, initial []wire.Obj
 		e.setLowLSN(group, lsn)
 	})
 	if err != nil {
-		e.mWALErrors.Inc()
-		e.log.Error("wal append failed", "group", group, "err", err)
+		e.walAppendFailed(group, "create", err)
 	}
 }
 
@@ -282,8 +292,7 @@ func (e *Engine) persistDelete(group string) {
 		}
 	})
 	if err != nil {
-		e.mWALErrors.Inc()
-		e.log.Error("wal append failed", "group", group, "err", err)
+		e.walAppendFailed(group, "delete", err)
 	}
 }
 
@@ -307,8 +316,7 @@ func (e *Engine) persistCheckpoint(group string, st *state.Group) {
 		}
 	})
 	if err != nil {
-		e.mWALErrors.Inc()
-		e.log.Error("wal checkpoint failed", "group", group, "err", err)
+		e.walAppendFailed(group, "checkpoint", err)
 	}
 }
 

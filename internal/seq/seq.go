@@ -63,6 +63,10 @@ func (s *Sequencer) state(group string) *groupState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if g = s.groups[group]; g == nil {
+		// Per-group counter by design: created once per group lifetime
+		// (not per call) and dropped with the group in Drop, so the
+		// registry does not grow without bound.
+		//lint:allow obshygiene per-group instrument, registered once per group and removed by Drop
 		g = &groupState{assigned: obs.Default.Counter(groupCounterName(group))}
 		g.next.Store(1)
 		s.groups[group] = g

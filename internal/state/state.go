@@ -40,9 +40,13 @@ var (
 // retained update history, and the checkpoint base. Group is not
 // self-synchronizing; the owning server serializes access.
 type Group struct {
-	objects map[string][]byte
+	// objects maps object IDs to their materialized states. Captured
+	// transfers alias the value buffers, so in-place mutation is
+	// forbidden: install fresh buffers or append-to-self only.
+	objects map[string][]byte //corona:cow
 	// history holds events with Seq in (baseSeq, nextSeq), oldest first.
-	history []wire.Event
+	// Captured transfers alias its tail under the same COW contract.
+	history []wire.Event //corona:cow
 	// baseSeq is the sequence number of the last checkpoint: every event
 	// with Seq <= baseSeq has been folded into objects and discarded.
 	baseSeq uint64
@@ -201,9 +205,9 @@ func (g *Group) Objects() []wire.Object {
 type Transfer struct {
 	// objects maps object IDs to shared live buffers (nil for event-only
 	// transfers). The map itself is a private copy; the values are not.
-	objects map[string][]byte
+	objects map[string][]byte //corona:cow-view
 	// events is a shared subslice of the group's history.
-	events  []wire.Event
+	events  []wire.Event //corona:cow-view
 	baseSeq uint64
 	nextSeq uint64
 	bytes   uint64

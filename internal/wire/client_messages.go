@@ -276,6 +276,7 @@ func (m *TransferChunk) Decode(d *Decoder) error {
 	m.Group = d.String()
 	m.Offset = d.Uvarint()
 	m.Total = d.Uvarint()
+	//lint:allow aliasretain Data documents the aliasing contract: valid until the next read, appended immediately
 	m.Data = d.Bytes()
 	return d.Err()
 }

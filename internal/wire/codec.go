@@ -202,6 +202,9 @@ func (d *Decoder) Uint64() uint64 {
 
 // Bytes reads a length-prefixed byte string. The returned slice aliases the
 // Decoder's buffer; use ByteCopy when the data must outlive the buffer.
+//
+// corona:aliases-input — callers must not mutate the result or retain it
+// past the buffer's lifetime (enforced by the aliasretain analyzer).
 func (d *Decoder) Bytes() []byte {
 	n := d.Uvarint()
 	if d.err != nil {

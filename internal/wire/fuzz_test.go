@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodePayload drains a fresh TransferStream over the given payload into
+// one contiguous buffer — the canonical transfer encoding.
+func encodePayload(t testing.TB, objects []Object, events []Event, chunk int) []byte {
+	t.Helper()
+	s := NewTransferStream(objects, events)
+	var out []byte
+	for {
+		c, off := s.Next(chunk)
+		if c == nil {
+			break
+		}
+		if off != uint64(len(out)) {
+			t.Fatalf("chunk offset %d, want %d", off, len(out))
+		}
+		out = append(out, c...)
+	}
+	if uint64(len(out)) != s.Total() {
+		t.Fatalf("drained %d bytes, Total() = %d", len(out), s.Total())
+	}
+	return out
+}
+
+func payloadsEqual(a0 []Object, e0 []Event, a1 []Object, e1 []Event) bool {
+	if len(a0) != len(a1) || len(e0) != len(e1) {
+		return false
+	}
+	for i := range a0 {
+		if a0[i].ID != a1[i].ID || !bytes.Equal(a0[i].Data, a1[i].Data) {
+			return false
+		}
+	}
+	for i := range e0 {
+		if e0[i].Seq != e1[i].Seq || e0[i].Kind != e1[i].Kind ||
+			e0[i].ObjectID != e1[i].ObjectID || !bytes.Equal(e0[i].Data, e1[i].Data) ||
+			e0[i].Sender != e1[i].Sender || e0[i].Time != e1[i].Time {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzTransferPayload feeds arbitrary bytes to the transfer payload
+// decoder; whenever they parse, re-encoding through a TransferStream and
+// decoding again must reproduce the same payload.
+func FuzzTransferPayload(f *testing.F) {
+	f.Add([]byte{0, 0})                               // empty payload
+	f.Add(encodePayloadSeed())                        // valid two-object payload
+	f.Add([]byte{2, 1, 'a', 3, 1, 2, 3, 1, 'b', 0})   // truncated
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 0, 0}) // huge count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		objs, evs, err := DecodeTransferPayload(data)
+		if err != nil {
+			return
+		}
+		re := encodePayload(t, objs, evs, 16)
+		objs2, evs2, err := DecodeTransferPayload(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded payload failed: %v", err)
+		}
+		if !payloadsEqual(objs, evs, objs2, evs2) {
+			t.Fatalf("payload round-trip mismatch:\n  first: %v %v\n second: %v %v", objs, evs, objs2, evs2)
+		}
+	})
+}
+
+func encodePayloadSeed() []byte {
+	s := NewTransferStream(
+		[]Object{{ID: "board", Data: []byte{1, 2, 3}}, {ID: "cursor", Data: nil}},
+		[]Event{{Seq: 4, Kind: EventUpdate, ObjectID: "board", Data: []byte{9}, Sender: 7, Time: 42}},
+	)
+	var out []byte
+	for {
+		c, _ := s.Next(64)
+		if c == nil {
+			return out
+		}
+		out = append(out, c...)
+	}
+}
+
+// FuzzTransferChunk round-trips arbitrary bytes through the framed
+// message codec; frames that decode as TransferChunk must re-encode to a
+// frame that decodes identically.
+func FuzzTransferChunk(f *testing.F) {
+	seed := Marshal(nil, &TransferChunk{RequestID: 9, Group: "g", Offset: 128, Total: 4096, Data: []byte("chunkchunk")})
+	f.Add(seed)
+	f.Add(Marshal(nil, &TransferChunk{Group: ""}))
+	f.Add([]byte{byte(KindTransferChunk), 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		c, ok := msg.(*TransferChunk)
+		if !ok {
+			return
+		}
+		re := Marshal(nil, c)
+		msg2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded chunk failed: %v", err)
+		}
+		c2 := msg2.(*TransferChunk)
+		if c.RequestID != c2.RequestID || c.Group != c2.Group || c.Offset != c2.Offset ||
+			c.Total != c2.Total || !bytes.Equal(c.Data, c2.Data) {
+			t.Fatalf("chunk round-trip mismatch: %+v != %+v", c, c2)
+		}
+	})
+}
+
+// FuzzTransferStream builds a structured payload from fuzzed inputs,
+// streams it at a fuzzed chunk size, reassembles, and checks the decode
+// matches the input payload exactly.
+func FuzzTransferStream(f *testing.F) {
+	f.Add([]byte("objdata"), []byte("evdata"), uint8(3), 7)
+	f.Add([]byte{}, []byte{0xff}, uint8(1), 1)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{}, uint8(5), 3)
+	f.Fuzz(func(t *testing.T, objData, evData []byte, nObjs uint8, chunk int) {
+		if chunk <= 0 || chunk > 1<<16 {
+			return
+		}
+		objects := make([]Object, 0, nObjs)
+		for i := 0; i < int(nObjs); i++ {
+			// Slice the fuzzed bytes differently per object so buffers
+			// overlap — the stream must not care.
+			lo := i % (len(objData) + 1)
+			objects = append(objects, Object{ID: string(rune('a' + i%26)), Data: objData[lo:]})
+		}
+		events := []Event{
+			{Seq: 1, Kind: EventState, ObjectID: "x", Data: evData, Sender: uint64(nObjs)},
+			{Seq: 2, Kind: EventUpdate, ObjectID: "x", Data: objData, Time: int64(chunk)},
+		}
+		payload := encodePayload(t, objects, events, chunk)
+		objs2, evs2, err := DecodeTransferPayload(payload)
+		if err != nil {
+			t.Fatalf("decode of streamed payload failed: %v", err)
+		}
+		// The codec normalizes empty Data to nil; normalize the inputs
+		// the same way before comparing.
+		norm := make([]Object, len(objects))
+		copy(norm, objects)
+		for i := range norm {
+			if len(norm[i].Data) == 0 {
+				norm[i].Data = nil
+			}
+		}
+		ne := make([]Event, len(events))
+		copy(ne, events)
+		for i := range ne {
+			if len(ne[i].Data) == 0 {
+				ne[i].Data = nil
+			}
+		}
+		if !payloadsEqual(norm, ne, objs2, evs2) {
+			t.Fatalf("stream round-trip mismatch at chunk=%d:\n  in: %v %v\n out: %v %v", chunk, norm, ne, objs2, evs2)
+		}
+	})
+}

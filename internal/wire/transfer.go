@@ -30,6 +30,10 @@ type TransferStream struct {
 
 // NewTransferStream returns a stream over the given payload. The Data
 // slices of objects and events are shared until the stream is drained.
+//
+// corona:zerocopy — the stream interleaves the shared buffers into chunks
+// without cloning the payload (Next's bounded chunk buffer is the only
+// copy); adding defensive copies here regresses PR 3's O(1) capture.
 func NewTransferStream(objects []Object, events []Event) *TransferStream {
 	e := NewEncoder(nil)
 	// cuts[i] is the header-buffer offset at which shared[i] interleaves.
@@ -117,6 +121,8 @@ func (s *TransferStream) Next(max int) (chunk []byte, offset uint64) {
 // buffer. The payload of a large transfer is decoded exactly once, so
 // copying it out again would double the join's allocation volume for no
 // benefit.
+//
+// corona:aliases-input — and corona:zerocopy on the decode path itself.
 func DecodeTransferPayload(data []byte) ([]Object, []Event, error) {
 	d := NewDecoder(data)
 	objs := decodeObjectsAlias(d)

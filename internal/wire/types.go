@@ -141,6 +141,8 @@ func decodeObjects(d *Decoder) []Object {
 // bytesAlias reads a length-prefixed byte string aliasing the decoder's
 // buffer, normalized to nil when empty so alias and copy decodes produce
 // identical values.
+//
+// corona:aliases-input
 func bytesAlias(d *Decoder) []byte {
 	b := d.Bytes()
 	if len(b) == 0 {
@@ -151,6 +153,9 @@ func bytesAlias(d *Decoder) []byte {
 
 // decodeObjectsAlias is decodeObjects with Data aliasing the decoder's
 // buffer; for callers that own the buffer outright (transfer reassembly).
+//
+// corona:aliases-input — and corona:zerocopy: this is the join transfer
+// fast path; defensive copies here double the join's allocation volume.
 func decodeObjectsAlias(d *Decoder) []Object {
 	n := d.Uvarint()
 	if d.err != nil || n == 0 {
@@ -169,6 +174,9 @@ func decodeObjectsAlias(d *Decoder) []Object {
 
 // decodeEventsAlias is decodeEvents with Data aliasing the decoder's
 // buffer; for callers that own the buffer outright (transfer reassembly).
+//
+// corona:aliases-input — and corona:zerocopy: this is the join transfer
+// fast path; defensive copies here double the join's allocation volume.
 func decodeEventsAlias(d *Decoder) []Event {
 	n := d.Uvarint()
 	if d.err != nil || n == 0 {

@@ -3,16 +3,19 @@
 #
 #	./scripts/check.sh
 #
-# It fails on unformatted files, vet findings, build errors, or test
-# failures (race detector on, short mode to keep it under a minute).
+# It fails on unformatted files, vet findings, corona-lint findings
+# (the invariant analyzers — see DESIGN.md §"Checked invariants"),
+# build errors, test failures (race detector on, short mode), or a
+# fuzz-smoke regression. Everything together stays under a minute on a
+# warm build cache.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
+echo "== gofmt -s"
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:" >&2
+	echo "gofmt -s needed on:" >&2
 	echo "$unformatted" >&2
 	exit 1
 fi
@@ -23,8 +26,21 @@ go vet ./...
 echo "== go build"
 go build ./...
 
+echo "== corona-lint"
+# Build the multichecker once into a cached binary; the Go build cache
+# makes this a no-op when cmd/corona-lint and internal/analysis are
+# unchanged, keeping the gate fast.
+mkdir -p .bin
+go build -o .bin/corona-lint ./cmd/corona-lint
+./.bin/corona-lint ./...
+
 echo "== go test -race -short"
 go test -race -short ./...
+
+echo "== fuzz smoke (3s per wire decode target)"
+for target in FuzzTransferPayload FuzzTransferChunk FuzzTransferStream; do
+	go test -run '^$' -fuzz "^${target}\$" -fuzztime 3s ./internal/wire >/dev/null
+done
 
 echo "== bench smoke (compile + one iteration)"
 go test -run NONE -bench . -benchtime 1x ./... >/dev/null
