@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	corona-bench -experiment fig3|sizesweep|table1|table2|multigroup|jointransfer|logreduction|relaxed|qos|all [flags]
+//	corona-bench -experiment fig3|sizesweep|table1|table2|multigroup|jointransfer|logreduction|relaxed|qos|placement|all [flags]
 //
 // The defaults are scaled for a laptop-class machine; -full restores the
 // paper-scale parameters (600 messages per point, client counts up to 300).
@@ -39,7 +39,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("corona-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | multigroup | jointransfer | logreduction | relaxed | qos | all")
+		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | multigroup | jointransfer | logreduction | relaxed | qos | placement | all")
 		full       = fs.Bool("full", false, "paper-scale parameters (slow: hundreds of clients, 600 messages per point)")
 		messages   = fs.Int("messages", 0, "timed messages per point (0 = experiment default)")
 		msgSize    = fs.Int("size", 1000, "multicast payload bytes for latency experiments")
@@ -52,6 +52,8 @@ func run(args []string) error {
 		maxProcs   = fs.Int("gomaxprocs", 0, "GOMAXPROCS for the benchmark process (0 = runtime default)")
 		jtSizes    = fs.String("jt-sizes", "", "comma-separated state sizes in MiB for the jointransfer stall sweep (default 1,8,32)")
 		jtJoins    = fs.Int("jt-joins", 0, "join/leave cycles per jointransfer stall point (0 = default 5)")
+		plStateMiB = fs.Int("pl-state", 0, "group state size in MiB for the placement migration (0 = default 8)")
+		plGroups   = fs.Int("pl-groups", 0, "groups for the placement convergence experiment (0 = default 8)")
 	)
 	var jsonOut jsonDir
 	fs.Var(&jsonOut, "json", "also write BENCH_<experiment>.json (bare: current directory; -json=dir: that directory)")
@@ -216,6 +218,15 @@ func run(args []string) error {
 			bench.PrintQoS(os.Stdout, res)
 			params = map[string]any{"messages": msgs}
 			result = res
+		case "placement":
+			cfg := bench.PlacementBenchConfig{StateBytes: *plStateMiB << 20, Groups: *plGroups}
+			res, err := bench.RunPlacement(cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintPlacement(os.Stdout, res)
+			params = map[string]any{"state_bytes": res.StateBytes, "groups": res.Groups, "servers": res.Servers}
+			result = res
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -223,7 +234,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "multigroup", "jointransfer", "logreduction", "relaxed", "qos"} {
+		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "multigroup", "jointransfer", "logreduction", "relaxed", "qos", "placement"} {
 			if i > 0 {
 				fmt.Println()
 			}

@@ -57,6 +57,8 @@ func run(args []string) error {
 		autoReduce  = fs.Int("auto-reduce", 8192, "state-log reduction threshold in events (0: disabled)")
 		debugAddr   = fs.String("debug-addr", "", "HTTP debug listen address serving /metrics, /healthz, /trace, /debug/pprof/ (empty: disabled)")
 		contention  = fs.Bool("contention-profile", false, "record mutex and blocking profiles, served at /debug/pprof/mutex and /debug/pprof/block (adds sampling overhead)")
+		replicas    = fs.Int("replicas", 0, "replication floor the placement manager maintains per group (replicated roles; 0: default 2)")
+		rebalance   = fs.Duration("rebalance-interval", 0, "load-aware rebalance cadence (replicated roles; 0: 4x heartbeat, negative: disabled)")
 		verbose     = fs.Bool("v", false, "debug logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -124,6 +126,9 @@ func run(args []string) error {
 	case "coordinator":
 		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 			ID: orDefault(*id, 1), PeerAddr: *peerAddr, Logger: logger,
+			Placement: cluster.PlacementConfig{
+				Replicas: *replicas, RebalanceInterval: *rebalance,
+			},
 		})
 		if err != nil {
 			return err
@@ -150,6 +155,9 @@ func run(args []string) error {
 				Dir: *dir, Sync: sync,
 				AutoReduceThreshold: *autoReduce,
 				Metrics:             obs.Default,
+			},
+			Placement: cluster.PlacementConfig{
+				Replicas: *replicas, RebalanceInterval: *rebalance,
 			},
 			Logger: logger,
 		})

@@ -109,6 +109,52 @@ func (g *Group) allowedExample(id string, data []byte) {
 	g.objects[id] = data
 }
 
+// --- checkpoint shapes (the migration driver's capture) -------------------
+
+// Checkpoint mirrors the O(1) checkpoint the migration driver streams: a
+// full captured image whose buffers alias the live group.
+type Checkpoint struct {
+	objects map[string][]byte //corona:cow-view
+	events  []Event           //corona:cow-view
+	nextSeq uint64            // plain metadata: free to mutate
+}
+
+func (g *Group) captureCheckpoint() *Checkpoint {
+	cp := &Checkpoint{objects: make(map[string][]byte), nextSeq: g.nextSeq}
+	for id, data := range g.objects {
+		cp.objects[id] = data // sharing INTO the checkpoint is the point: fine
+	}
+	cp.events = g.history // full-image alias: fine
+	return cp
+}
+
+// streamChunks is the migration sender: it may read and re-slice the
+// captured buffers freely — only writes are forbidden.
+func (cp *Checkpoint) streamChunks(send func([]byte)) {
+	for _, data := range cp.objects {
+		for len(data) > 0 {
+			n := len(data)
+			if n > 4 {
+				n = 4
+			}
+			send(data[:n])
+			data = data[n:]
+		}
+	}
+}
+
+func (cp *Checkpoint) redactInPlace(id string) {
+	buf := cp.objects[id]
+	for i := range buf {
+		buf[i] = 0 // want `write into captured COW view buffer`
+	}
+}
+
+func (cp *Checkpoint) normalize(src []byte) {
+	copy(cp.events[0].Data, src) // want `copy into captured COW view buffer`
+	cp.nextSeq++                 // unmarked metadata: fine
+}
+
 func cloneBytes(b []byte) []byte {
 	if b == nil {
 		return nil

@@ -1,5 +1,6 @@
 // Package lockhold flags blocking operations reachable while an
-// internal/core engine or per-group mutex is held.
+// internal/core engine, internal/cluster server/coordinator, or per-group
+// mutex is held.
 //
 // PR 2 shrank the engine's lock-hold windows (read lock + per-group mutex
 // on the multicast hot path) and PR 3 bounded the join write-lock hold to
@@ -7,7 +8,9 @@
 // comments and in the join_lock_hold_ns / bcast_lock_wait_ns histograms,
 // which catch regressions at runtime, probabilistically. This analyzer is
 // the static complement: inside every Lock()/RLock() … Unlock() span of a
-// package named "core", it rejects operations that can block — channel
+// package named "core" or "cluster" (the latter added with the placement
+// subsystem, whose migration driver must capture under the lock and
+// stream outside it), it rejects operations that can block — channel
 // sends and receives (unless in a select with a default), selects without
 // a default, time.Sleep, file and network I/O, log/fmt output, and the
 // WAL's synchronous Append/Barrier — whether they appear directly in the
@@ -42,7 +45,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) error {
 	c := newChecker(pass)
 	for _, pkg := range pass.Pkgs {
-		if pkg.Name != "core" {
+		if pkg.Name != "core" && pkg.Name != "cluster" {
 			continue
 		}
 		for _, f := range pkg.Files {

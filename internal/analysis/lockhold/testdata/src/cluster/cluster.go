@@ -1,0 +1,89 @@
+// Package cluster is a lockhold fixture shaped like the real cluster
+// package's migration driver: a server that must capture state and
+// snapshot fields under its mutex but stream, log, and tear links down
+// only after releasing it. Violations carry // want; the conforming
+// capture-then-stream shape must stay silent.
+package cluster
+
+import (
+	"log/slog"
+	"net"
+	"sync"
+)
+
+type Server struct {
+	mu      sync.Mutex
+	log     *slog.Logger
+	link    net.Conn
+	backups map[string]bool
+	done    chan struct{}
+}
+
+type chunk struct{ payload []byte }
+
+// --- the migration driver's cardinal sin: streaming under the lock -----
+
+func (s *Server) migrateOutHeld(chunks []chunk) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range chunks {
+		s.link.Write(c.payload) // want `\(Conn\)\.Write \[network I/O\] while "s\.mu" is held`
+	}
+}
+
+// migrateOut is the conforming shape: snapshot the link and capture the
+// chunk list inside the span, stream after release.
+func (s *Server) migrateOut(chunks []chunk) {
+	s.mu.Lock()
+	link := s.link
+	captured := append([]chunk(nil), chunks...)
+	s.mu.Unlock()
+	for _, c := range captured {
+		link.Write(c.payload)
+	}
+}
+
+// --- logging and link teardown inside spans ----------------------------
+
+func (s *Server) adoptHeld(group string) {
+	s.mu.Lock()
+	s.backups[group] = true
+	s.log.Info("backup installed", "group", group) // want `\(\*Logger\)\.Info \[logging\] while "s\.mu" is held`
+	s.mu.Unlock()
+	s.log.Info("backup installed", "group", group) // after release: fine
+}
+
+func (s *Server) replaceLinkHeld(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.link.Close() // want `\(Conn\)\.Close \[network I/O\] while "s\.mu" is held`
+	s.link = conn
+}
+
+func (s *Server) replaceLink(conn net.Conn) {
+	s.mu.Lock()
+	old := s.link
+	s.link = conn
+	s.mu.Unlock()
+	old.Close()
+}
+
+// --- cutover signalling -------------------------------------------------
+
+func (s *Server) cutoverHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.done // want `channel receive while "s\.mu" is held`
+}
+
+func (s *Server) cutoverAsync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The migration body runs off this stack: fine.
+	go func() { <-s.done }()
+	// Non-blocking completion probe: fine.
+	select {
+	case <-s.done:
+	default:
+	}
+}

@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/cluster"
+)
+
+// PlacementBenchConfig parameterizes the placement experiment: the
+// throughput of one coordinator-directed live migration, and the time the
+// placement manager needs to restore full replication after a server crash.
+type PlacementBenchConfig struct {
+	// StateBytes is the group state size moved by the migration
+	// (default 8 MiB).
+	StateBytes int
+	// Groups is the number of groups in the convergence experiment
+	// (default 8).
+	Groups int
+	// Servers is the cluster size for the convergence experiment
+	// (default 4).
+	Servers int
+	// RebalanceInterval drives the convergence experiment's placement
+	// manager (default 100ms).
+	RebalanceInterval time.Duration
+}
+
+func (c *PlacementBenchConfig) setDefaults() {
+	if c.StateBytes <= 0 {
+		c.StateBytes = 8 << 20
+	}
+	if c.Groups <= 0 {
+		c.Groups = 8
+	}
+	if c.Servers <= 0 {
+		c.Servers = 4
+	}
+	if c.RebalanceInterval <= 0 {
+		c.RebalanceInterval = 100 * time.Millisecond
+	}
+}
+
+// PlacementResult is the measured outcome.
+type PlacementResult struct {
+	// Migration throughput: a replica of StateBytes of group state is
+	// moved between two idle servers.
+	StateBytes    int           `json:"state_bytes"`
+	MigrationTime time.Duration `json:"migration_time"`
+	MigrationMBps float64       `json:"migration_mbps"`
+
+	// Convergence: one backup-holding server out of Servers crashes;
+	// ConvergeTime is the span from the crash until every one of Groups
+	// groups holds >=2 live replicas again, with no client involvement.
+	Groups       int           `json:"groups"`
+	Servers      int           `json:"servers"`
+	VictimGroups int           `json:"victim_groups"`
+	ConvergeTime time.Duration `json:"converge_time"`
+}
+
+// placementCluster boots a coordinator with the given placement config plus
+// n member servers, returning handles for direct inspection.
+func placementCluster(n int, pc cluster.PlacementConfig) (*cluster.Coordinator, []*cluster.Server, func(), error) {
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatInterval: 50 * time.Millisecond,
+		PeerTimeout:       250 * time.Millisecond,
+		Placement:         pc,
+		Logger:            quietLogger(),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	coord.Start()
+	var servers []*cluster.Server
+	shutdown := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		coord.Close()
+	}
+	for i := 0; i < n; i++ {
+		s, err := cluster.NewServer(cluster.ServerConfig{
+			ID:                uint64(i + 2),
+			CoordinatorAddr:   coord.Addr(),
+			HeartbeatInterval: 50 * time.Millisecond,
+			DisableElection:   true,
+			Logger:            quietLogger(),
+		})
+		if err != nil {
+			shutdown()
+			return nil, nil, nil, err
+		}
+		if err := s.Start(); err != nil {
+			shutdown()
+			return nil, nil, nil, err
+		}
+		servers = append(servers, s)
+	}
+	return coord, servers, shutdown, nil
+}
+
+func pollUntil(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: condition not met within %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// RunPlacement executes both placement experiments.
+func RunPlacement(cfg PlacementBenchConfig) (PlacementResult, error) {
+	cfg.setDefaults()
+	res := PlacementResult{
+		StateBytes: cfg.StateBytes,
+		Groups:     cfg.Groups,
+		Servers:    cfg.Servers,
+	}
+
+	// --- Migration throughput ---
+	coord, servers, shutdown, err := placementCluster(3, cluster.PlacementConfig{
+		Replicas: 2, RebalanceInterval: -1, MigrationTimeout: 2 * time.Minute,
+	})
+	if err != nil {
+		return res, err
+	}
+	func() {
+		defer shutdown()
+		c, derr := client.Dial(client.Config{Addr: servers[0].ClientAddr(), Name: "loader"})
+		if derr != nil {
+			err = derr
+			return
+		}
+		defer c.Close()
+		if err = c.CreateGroup("mig", false, nil); err != nil {
+			return
+		}
+		if _, err = c.Join("mig", client.JoinOptions{}); err != nil {
+			return
+		}
+		const chunk = 1 << 20
+		buf := make([]byte, chunk)
+		for filled := 0; filled < cfg.StateBytes; filled += chunk {
+			n := chunk
+			if cfg.StateBytes-filled < n {
+				n = cfg.StateBytes - filled
+			}
+			id := fmt.Sprintf("blob-%d", filled/chunk)
+			if _, err = c.BcastState("mig", id, buf[:n], false); err != nil {
+				return
+			}
+		}
+		// Wait for the proactive backup, then for its image to converge so
+		// the migration moves the full state.
+		var src, dst int
+		err = pollUntil(30*time.Second, func() bool {
+			src = -1
+			for i := 1; i < len(servers); i++ {
+				if servers[i].Engine().HasGroup("mig") {
+					src = i
+				}
+			}
+			if src < 0 {
+				return false
+			}
+			_, want, ok0 := servers[0].Engine().GroupImage("mig")
+			_, have, okS := servers[src].Engine().GroupImage("mig")
+			return ok0 && okS && want.Digest == have.Digest && want.NextSeq == have.NextSeq
+		})
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(servers); i++ {
+			if i != src {
+				dst = i
+			}
+		}
+		start := time.Now()
+		if err = coord.MigrateGroup("mig", uint64(src+2), uint64(dst+2)); err != nil {
+			return
+		}
+		err = pollUntil(2*time.Minute, func() bool {
+			return servers[dst].Engine().HasGroup("mig") && !servers[src].Engine().HasGroup("mig")
+		})
+		if err != nil {
+			return
+		}
+		res.MigrationTime = time.Since(start)
+		res.MigrationMBps = float64(cfg.StateBytes) / (1 << 20) / res.MigrationTime.Seconds()
+	}()
+	if err != nil {
+		return res, fmt.Errorf("migration experiment: %w", err)
+	}
+
+	// --- Rebalance convergence after a crash ---
+	_, servers, shutdown, err = placementCluster(cfg.Servers, cluster.PlacementConfig{
+		Replicas: 2, RebalanceInterval: cfg.RebalanceInterval,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer shutdown()
+
+	var clients []*client.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	groups := make([]string, cfg.Groups)
+	for g := range groups {
+		groups[g] = fmt.Sprintf("conv-%d", g)
+		c, derr := client.Dial(client.Config{
+			Addr: servers[0].ClientAddr(), Name: fmt.Sprintf("m%d", g),
+		})
+		if derr != nil {
+			return res, derr
+		}
+		clients = append(clients, c)
+		if err := c.CreateGroup(groups[g], false, nil); err != nil {
+			return res, err
+		}
+		if _, err := c.Join(groups[g], client.JoinOptions{}); err != nil {
+			return res, err
+		}
+		// Non-trivial per-group state so re-replication after the crash
+		// pays a visible transfer cost.
+		if _, err := c.BcastState(groups[g], "o", make([]byte, 256<<10), false); err != nil {
+			return res, err
+		}
+	}
+	replicasOf := func(name string, skip int) int {
+		n := 0
+		for i, s := range servers {
+			if i != skip && s.Engine().HasGroup(name) {
+				n++
+			}
+		}
+		return n
+	}
+	// Steady state before the crash: every group at exactly the replication
+	// factor (the rebalance loop releases surplus replicas), so losing a
+	// holder really does force re-replication.
+	if err := pollUntil(30*time.Second, func() bool {
+		for _, name := range groups {
+			if replicasOf(name, -1) != 2 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return res, fmt.Errorf("pre-crash replication: %w", err)
+	}
+
+	// Crash the backup holder covering the most groups; members all live on
+	// server 0, so every group the victim holds drops to a single replica.
+	victim := 1
+	for i := 2; i < len(servers); i++ {
+		count := func(idx int) (n int) {
+			for _, name := range groups {
+				if servers[idx].Engine().HasGroup(name) {
+					n++
+				}
+			}
+			return n
+		}
+		if count(i) > count(victim) {
+			victim = i
+		}
+	}
+	for _, name := range groups {
+		if servers[victim].Engine().HasGroup(name) {
+			res.VictimGroups++
+		}
+	}
+	start := time.Now()
+	servers[victim].Close()
+	if err := pollUntil(time.Minute, func() bool {
+		for _, name := range groups {
+			if replicasOf(name, victim) < 2 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return res, fmt.Errorf("post-crash convergence: %w", err)
+	}
+	res.ConvergeTime = time.Since(start)
+	return res, nil
+}
+
+// PrintPlacement renders the placement experiment.
+func PrintPlacement(w io.Writer, r PlacementResult) {
+	fmt.Fprintf(w, "Placement: live migration and crash-recovery convergence\n")
+	fmt.Fprintf(w, "%-44s %-14s\n", "metric", "value")
+	fmt.Fprintf(w, "%-44s %-14s\n",
+		fmt.Sprintf("migrate %d MiB replica (server to server)", r.StateBytes>>20),
+		Millis(r.MigrationTime))
+	fmt.Fprintf(w, "%-44s %.1f MB/s\n", "migration throughput", r.MigrationMBps)
+	fmt.Fprintf(w, "%-44s %-14s\n",
+		fmt.Sprintf("re-replicate %d groups after crash (%d hit)", r.Groups, r.VictimGroups),
+		Millis(r.ConvergeTime))
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"corona/internal/placement"
 	"corona/internal/seq"
 	"corona/internal/state"
 	"corona/internal/transport"
@@ -59,6 +60,8 @@ type CoordinatorConfig struct {
 	// back when another replica holds the authoritative state, adopt the
 	// server's version otherwise.
 	OnDivergence func(DivergenceReport) wire.Resolution
+	// Placement tunes the placement manager (see rebalance.go).
+	Placement PlacementConfig
 }
 
 // DivergenceReport describes a detected post-partition divergence: a
@@ -143,15 +146,23 @@ type Coordinator struct {
 
 	listener *transport.Listener
 
-	mu        sync.Mutex
-	epoch     uint64
-	peers     map[uint64]*peer
-	nextBoot  uint64
-	groups    map[string]*groupMeta
-	seqr      *seq.Sequencer
-	pending   map[uint64]statePending
-	nextProxy uint64
-	closed    bool
+	// place and policy are the placement manager's load view and
+	// placement function; migrations tracks in-flight live migrations by
+	// group (see rebalance.go).
+	place  *placement.Tracker
+	policy placement.Policy
+
+	mu            sync.Mutex
+	epoch         uint64
+	peers         map[uint64]*peer
+	nextBoot      uint64
+	groups        map[string]*groupMeta
+	seqr          *seq.Sequencer
+	pending       map[uint64]statePending
+	nextProxy     uint64
+	migrations    map[string]*migrationRec
+	nextMigration uint64
+	closed        bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -178,6 +189,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	cfg.Placement.applyDefaults(cfg.HeartbeatInterval)
 	var l *transport.Listener
 	if !cfg.NoListen {
 		var err error
@@ -187,15 +199,18 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		log:      cfg.Logger,
-		listener: l,
-		epoch:    cfg.Epoch,
-		peers:    make(map[uint64]*peer),
-		groups:   make(map[string]*groupMeta),
-		seqr:     seq.New(cfg.Now),
-		pending:  make(map[uint64]statePending),
-		stop:     make(chan struct{}),
+		cfg:        cfg,
+		log:        cfg.Logger,
+		listener:   l,
+		epoch:      cfg.Epoch,
+		peers:      make(map[uint64]*peer),
+		groups:     make(map[string]*groupMeta),
+		seqr:       seq.New(cfg.Now),
+		pending:    make(map[uint64]statePending),
+		place:      placement.NewTracker(cfg.Now),
+		policy:     placement.Policy{Replicas: cfg.Placement.Replicas},
+		migrations: make(map[string]*migrationRec),
+		stop:       make(chan struct{}),
 	}
 	return c, nil
 }
@@ -343,10 +358,11 @@ func (c *Coordinator) register(conn *transport.Conn, hello *wire.SHello) *peer {
 		c.mu.Unlock()
 		return nil
 	}
+	var stale *peer
 	if old, ok := c.peers[hello.ServerID]; ok {
-		// A reconnecting server replaces its stale link.
-		_ = old.conn.Close()
-		old.pump.Close()
+		// A reconnecting server replaces its stale link; the link teardown
+		// (pump drain) happens after c.mu is released.
+		stale = old
 		delete(c.peers, hello.ServerID)
 	}
 	boot := c.nextBoot
@@ -367,6 +383,10 @@ func (c *Coordinator) register(conn *transport.Conn, hello *wire.SHello) *peer {
 	}
 	c.mu.Unlock()
 
+	if stale != nil {
+		_ = stale.conn.Close()
+		stale.pump.Close()
+	}
 	p.send(ack)
 	c.broadcastServerList()
 	return p
@@ -430,7 +450,16 @@ func (c *Coordinator) deregister(p *peer, reason string) {
 		return // replaced by a reconnect; nothing to clean
 	}
 	delete(c.peers, p.info.ID)
-	c.log.Warn("server lost", "server", p.info.ID, "reason", reason)
+	clusterServersLost.Inc()
+	c.place.Forget(p.info.ID)
+
+	// Abandon migrations whose endpoint died; the rebalance loop replans.
+	for group, rec := range c.migrations {
+		if rec.from == p.info.ID || rec.to == p.info.ID {
+			delete(c.migrations, group)
+			clusterMigrationsFailed.Inc()
+		}
+	}
 
 	type lostMember struct {
 		group string
@@ -456,12 +485,13 @@ func (c *Coordinator) deregister(p *peer, reason string) {
 	}
 	c.mu.Unlock()
 
+	c.log.Warn("server lost", "server", p.info.ID, "reason", reason)
 	p.pump.Close()
 	for _, lm := range lost {
 		c.redistributeMemberUpdate(p.info.ID, lm.group, wire.MemberCrashed, lm.info)
 	}
 	for _, g := range backupChecks {
-		c.ensureBackup(g)
+		c.ensureReplicas(g)
 	}
 	c.broadcastServerList()
 }
@@ -493,6 +523,11 @@ func (c *Coordinator) handlePeerMessage(p *peer, msg wire.Message) {
 				clusterHeartbeatRTT.Record(d)
 			}
 		}
+		c.place.Observe(p.info.ID, placement.Load{
+			Groups: m.Load.Groups, Sessions: m.Load.Sessions, Bcasts: m.Load.Bcasts,
+		})
+	case *wire.SMigrated:
+		c.handleMigrated(m)
 	case *wire.SSeqReport:
 		c.handleSeqReport(p, m)
 	case *wire.SGroupsQuery:
@@ -571,48 +606,7 @@ func (c *Coordinator) handleInterest(p *peer, m *wire.SInterest) {
 		delete(meta.interest, m.ServerID)
 	}
 	c.mu.Unlock()
-	c.ensureBackup(m.Group)
-}
-
-// ensureBackup enforces the paper's availability rule: "At least two copies
-// of the state exist at any moment... When there is only one replica which
-// supports members of a group, a backup is elected from one of the other
-// servers."
-func (c *Coordinator) ensureBackup(group string) {
-	c.mu.Lock()
-	meta, ok := c.groups[group]
-	if !ok || len(c.peers) < 2 {
-		c.mu.Unlock()
-		return
-	}
-	if len(meta.interest) != 1 {
-		c.mu.Unlock()
-		return
-	}
-	var only uint64
-	for id := range meta.interest {
-		only = id
-	}
-	// Pick the first live server (by boot order) that is not the sole
-	// replica.
-	var chosen *peer
-	for _, info := range c.serverListLocked() {
-		if info.ID != only {
-			chosen = c.peers[info.ID]
-			break
-		}
-	}
-	if chosen == nil {
-		c.mu.Unlock()
-		return
-	}
-	// Record the designation optimistically so repeated interest updates
-	// do not re-elect; pending until the server confirms the replica.
-	meta.interest[chosen.info.ID] = &interest{backup: true, pending: true}
-	c.mu.Unlock()
-
-	c.log.Info("backup elected", "group", group, "server", chosen.info.ID)
-	chosen.send(&wire.SInterest{ServerID: chosen.info.ID, Group: group, Interested: true, Backup: true})
+	c.ensureReplicas(m.Group)
 }
 
 // handleMemberUpdate maintains the global membership and redistributes the
@@ -936,11 +930,13 @@ func (c *Coordinator) resolveDivergence(r DivergenceReport) wire.Resolution {
 	return wire.ResolutionAdopt
 }
 
-// heartbeatLoop probes the servers and reaps the silent ones.
+// heartbeatLoop probes the servers, reaps the silent ones, and drives the
+// placement manager's rebalance ticks.
 func (c *Coordinator) heartbeatLoop() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.cfg.HeartbeatInterval)
 	defer t.Stop()
+	var lastRebalance time.Time
 	for {
 		select {
 		case <-c.stop:
@@ -963,7 +959,12 @@ func (c *Coordinator) heartbeatLoop() {
 			p.send(hb)
 		}
 		for _, p := range dead {
+			clusterHeartbeatMisses.Inc()
 			_ = p.conn.Close() // the read loop deregisters
+		}
+		if iv := c.cfg.Placement.RebalanceInterval; iv > 0 && now.Sub(lastRebalance) >= iv {
+			lastRebalance = now
+			c.rebalance()
 		}
 	}
 }

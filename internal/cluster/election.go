@@ -55,6 +55,8 @@ func (s *Server) servePeerConn(conn *transport.Conn) {
 		coord.ServeRegistration(conn, m) // blocks for the link's life
 	case *wire.SElect:
 		s.handleElectionProbe(conn, m)
+	case *wire.SMigrateOffer:
+		s.handleMigrateIn(conn, m)
 	default:
 		s.log.Warn("unexpected peer-listener message", "kind", msg.Kind().String())
 	}
@@ -313,6 +315,7 @@ func (s *Server) promote(epoch uint64) {
 		NoListen:          true,
 		HeartbeatInterval: s.cfg.HeartbeatInterval,
 		PeerTimeout:       s.cfg.CoordinatorTimeout,
+		Placement:         s.cfg.Placement,
 		Logger:            s.log.With("role", "coordinator"),
 	})
 	if err != nil {

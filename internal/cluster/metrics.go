@@ -24,6 +24,40 @@ var (
 	clusterElectionNs   = obs.Default.Histogram("cluster.election_ns")
 	clusterElectionsWon = obs.Default.Counter("cluster.elections_won")
 	clusterElectionsNot = obs.Default.Counter("cluster.elections_lost")
+
+	// clusterHeartbeatMisses counts servers the coordinator's failure
+	// detector reaped for exceeding the peer timeout.
+	clusterHeartbeatMisses = obs.Default.Counter("cluster.heartbeat_misses")
+	// clusterServersLost counts server deregistrations for any reason
+	// (timeout or dropped link).
+	clusterServersLost = obs.Default.Counter("cluster.servers_lost")
+	// clusterBackupReassigns counts backup designations: the coordinator
+	// directing a server to acquire a replica it does not hold.
+	clusterBackupReassigns = obs.Default.Counter("cluster.backup_reassigns")
+	// clusterSeqGaps counts sequence gaps replicas detected on the
+	// distribute path (each triggers a catch-up fetch).
+	clusterSeqGaps = obs.Default.Counter("cluster.seq_gaps")
+	// clusterCatchups counts completed catch-up fetches.
+	clusterCatchups = obs.Default.Counter("cluster.catchups")
+
+	// Placement / live migration.
+	clusterMigrationsStarted = obs.Default.Counter("cluster.migrations_started")
+	clusterMigrationsDone    = obs.Default.Counter("cluster.migrations_done")
+	clusterMigrationsFailed  = obs.Default.Counter("cluster.migrations_failed")
+	// clusterMigrationBytes accumulates payload bytes moved by completed
+	// migrations.
+	clusterMigrationBytes = obs.Default.Gauge("cluster.migration_bytes")
+	// clusterMigrationNs is the coordinator-observed migration duration
+	// (SMigrate sent to SMigrated received).
+	clusterMigrationNs = obs.Default.Histogram("cluster.migration_ns")
+	// clusterMigrateOutNs / clusterMigrateInNs are the server-side stream
+	// durations (capture-to-ack on the source, offer-to-install on the
+	// target).
+	clusterMigrateOutNs = obs.Default.Histogram("cluster.migrate_out_ns")
+	clusterMigrateInNs  = obs.Default.Histogram("cluster.migrate_in_ns")
+	// clusterReplicasReleased counts directed releases of surplus
+	// replicas during rebalancing.
+	clusterReplicasReleased = obs.Default.Counter("cluster.replicas_released")
 )
 
 // plausibleLatency filters cross-clock timestamp differences: negative

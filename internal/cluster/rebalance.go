@@ -1,0 +1,325 @@
+package cluster
+
+// Coordinator-side placement management. The coordinator folds the load
+// reports piggybacked on server heartbeats into a placement.Tracker, and on
+// every rebalance tick diffs each group's replica set against the
+// policy-desired set (internal/placement), executing the resulting actions:
+// designations through the ordinary backup path, migrations through the
+// live migration driver (migrate.go), and releases as directed un-interest.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"corona/internal/placement"
+	"corona/internal/wire"
+)
+
+// PlacementConfig tunes the coordinator's placement manager.
+type PlacementConfig struct {
+	// Replicas is the target replica count per group (minimum and
+	// default 2 — the paper's availability floor).
+	Replicas int
+	// RebalanceInterval is the cadence of placement evaluation. Zero
+	// defaults to 4× the heartbeat interval; negative disables the
+	// rebalance loop (the immediate ≥2-replica floor still applies).
+	RebalanceInterval time.Duration
+	// MigrationTimeout abandons a migration whose outcome never arrives
+	// (default 30s).
+	MigrationTimeout time.Duration
+	// MaxMigrations caps concurrently in-flight migrations (default 2).
+	MaxMigrations int
+}
+
+func (pc *PlacementConfig) applyDefaults(heartbeat time.Duration) {
+	if pc.Replicas < placement.DefaultReplicas {
+		pc.Replicas = placement.DefaultReplicas
+	}
+	if pc.RebalanceInterval == 0 {
+		pc.RebalanceInterval = 4 * heartbeat
+	}
+	if pc.MigrationTimeout <= 0 {
+		pc.MigrationTimeout = 30 * time.Second
+	}
+	if pc.MaxMigrations <= 0 {
+		pc.MaxMigrations = 2
+	}
+}
+
+// migrationRec is one in-flight migration, keyed by group (at most one per
+// group at a time).
+type migrationRec struct {
+	id       uint64
+	from, to uint64
+	started  time.Time
+}
+
+// Replicas returns the IDs of the live servers holding (or acquiring) a
+// replica of the group, sorted.
+func (c *Coordinator) Replicas(group string) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, ok := c.groups[group]
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, 0, len(meta.interest))
+	for id := range meta.interest {
+		if _, live := c.peers[id]; live {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MigrateGroup triggers a live migration of the group's replica from one
+// server to another. It validates the endpoints and records the migration;
+// completion arrives asynchronously as an SMigrated.
+func (c *Coordinator) MigrateGroup(group string, from, to uint64) error {
+	c.mu.Lock()
+	meta, ok := c.groups[group]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no group %q", group)
+	}
+	if _, busy := c.migrations[group]; busy {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: migration of %q already in flight", group)
+	}
+	in, holds := meta.interest[from]
+	if !holds || in.pending {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: server %d holds no replica of %q", from, group)
+	}
+	src, srcLive := c.peers[from]
+	dst, dstLive := c.peers[to]
+	if !srcLive || !dstLive {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: migration endpoints %d→%d not live", from, to)
+	}
+	c.nextMigration++
+	req := &wire.SMigrate{RequestID: c.nextMigration, Group: group, TargetID: to, TargetAddr: dst.info.Addr}
+	c.migrations[group] = &migrationRec{id: req.RequestID, from: from, to: to, started: c.cfg.Now()}
+	c.mu.Unlock()
+
+	clusterMigrationsStarted.Inc()
+	c.log.Info("migration started", "group", group, "from", from, "to", to)
+	src.send(req)
+	return nil
+}
+
+// handleMigrated retires an in-flight migration record.
+func (c *Coordinator) handleMigrated(m *wire.SMigrated) {
+	c.mu.Lock()
+	rec, ok := c.migrations[m.Group]
+	if !ok || rec.id != m.RequestID {
+		c.mu.Unlock()
+		return // superseded or timed out; already accounted for
+	}
+	delete(c.migrations, m.Group)
+	started := rec.started
+	c.mu.Unlock()
+
+	if m.OK {
+		clusterMigrationsDone.Inc()
+		clusterMigrationBytes.Add(int64(m.Bytes))
+		if d := c.cfg.Now().Sub(started).Nanoseconds(); plausibleLatency(d) {
+			clusterMigrationNs.Record(d)
+		}
+	} else {
+		clusterMigrationsFailed.Inc()
+		c.log.Warn("migration failed", "group", m.Group, "from", m.SourceID, "to", m.TargetID, "reason", m.Text)
+	}
+}
+
+// loadsLocked assembles the placement view of every live server: the
+// tracker's report when one has arrived, a zero load for servers that have
+// not heartbeated yet. Caller holds c.mu.
+func (c *Coordinator) loadsLocked() []placement.ServerLoad {
+	snap := c.place.Snapshot()
+	byID := make(map[uint64]placement.ServerLoad, len(snap))
+	for _, s := range snap {
+		byID[s.ID] = s
+	}
+	out := make([]placement.ServerLoad, 0, len(c.peers))
+	for id := range c.peers {
+		if s, ok := byID[id]; ok {
+			out = append(out, s)
+		} else {
+			out = append(out, placement.ServerLoad{ID: id})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ensureReplicas enforces the paper's availability rule as a floor: "At
+// least two copies of the state exist at any moment." Whenever a group's
+// replica count (live holders plus in-flight designations) drops below the
+// replication factor — a holder crashed, released, or two member-hosting
+// servers died inside one heartbeat window — enough fresh backups are
+// designated immediately, chosen by the placement policy. The rebalance
+// loop refines placement later; this path exists so coverage never waits
+// for a rebalance tick or a client-driven join.
+func (c *Coordinator) ensureReplicas(group string) {
+	c.mu.Lock()
+	meta, ok := c.groups[group]
+	if !ok || len(c.peers) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	want := c.cfg.Placement.Replicas
+	if want > len(c.peers) {
+		want = len(c.peers)
+	}
+	have := 0
+	pinned := make([]uint64, 0, len(meta.interest))
+	for id := range meta.interest {
+		if _, live := c.peers[id]; live {
+			have++
+			pinned = append(pinned, id)
+		}
+	}
+	if have >= want {
+		c.mu.Unlock()
+		return
+	}
+	sort.Slice(pinned, func(i, j int) bool { return pinned[i] < pinned[j] })
+	var chosen []*peer
+	for _, id := range c.policy.Desired(group, c.loadsLocked(), pinned) {
+		if _, holds := meta.interest[id]; holds {
+			continue
+		}
+		p, live := c.peers[id]
+		if !live {
+			continue
+		}
+		// Record the designation optimistically so repeated interest
+		// updates do not re-elect; pending until the server confirms.
+		meta.interest[id] = &interest{backup: true, pending: true}
+		chosen = append(chosen, p)
+	}
+	c.mu.Unlock()
+
+	for _, p := range chosen {
+		clusterBackupReassigns.Inc()
+		c.log.Info("backup elected", "group", group, "server", p.info.ID)
+		p.send(&wire.SInterest{ServerID: p.info.ID, Group: group, Interested: true, Backup: true})
+	}
+}
+
+// rebalance runs one placement evaluation: expire stale migrations, then
+// plan and execute actions for every group.
+func (c *Coordinator) rebalance() {
+	now := c.cfg.Now()
+	type sendCmd struct {
+		p   *peer
+		msg wire.Message
+	}
+	var sends []sendCmd
+	type migNote struct {
+		group    string
+		from, to uint64
+	}
+	var expired, launched []migNote
+	var reassigned, released int
+
+	c.mu.Lock()
+	if len(c.peers) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	for group, rec := range c.migrations {
+		if now.Sub(rec.started) > c.cfg.Placement.MigrationTimeout {
+			delete(c.migrations, group)
+			clusterMigrationsFailed.Inc()
+			expired = append(expired, migNote{group, rec.from, rec.to})
+		}
+	}
+	loads := c.loadsLocked()
+	budget := c.cfg.Placement.MaxMigrations - len(c.migrations)
+
+	names := make([]string, 0, len(c.groups))
+	for name := range c.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		if _, busy := c.migrations[name]; busy {
+			continue
+		}
+		meta := c.groups[name]
+		current := make(map[uint64]placement.Replica, len(meta.interest))
+		var pinned []uint64
+		for id, in := range meta.interest {
+			if _, live := c.peers[id]; !live {
+				continue
+			}
+			current[id] = placement.Replica{Members: in.members, Backup: in.backup, Pending: in.pending}
+			if in.members > 0 {
+				pinned = append(pinned, id)
+			}
+		}
+		sort.Slice(pinned, func(i, j int) bool { return pinned[i] < pinned[j] })
+		desired := c.policy.Desired(name, loads, pinned)
+		for _, act := range placement.PlanGroup(name, current, desired) {
+			switch act.Kind {
+			case placement.Designate:
+				p, live := c.peers[act.Server]
+				if !live {
+					continue
+				}
+				meta.interest[act.Server] = &interest{backup: true, pending: true}
+				reassigned++
+				sends = append(sends, sendCmd{p, &wire.SInterest{ServerID: act.Server, Group: name, Interested: true, Backup: true}})
+			case placement.Migrate:
+				if budget <= 0 {
+					continue
+				}
+				src, srcLive := c.peers[act.From]
+				dst, dstLive := c.peers[act.Server]
+				if !srcLive || !dstLive {
+					continue
+				}
+				budget--
+				c.nextMigration++
+				c.migrations[name] = &migrationRec{id: c.nextMigration, from: act.From, to: act.Server, started: now}
+				clusterMigrationsStarted.Inc()
+				launched = append(launched, migNote{name, act.From, act.Server})
+				sends = append(sends, sendCmd{src, &wire.SMigrate{
+					RequestID: c.nextMigration, Group: name, TargetID: act.Server, TargetAddr: dst.info.Addr,
+				}})
+			case placement.Release:
+				p, live := c.peers[act.Server]
+				if !live {
+					continue
+				}
+				// The interest entry stays until the server confirms the
+				// drop with SInterest{Interested: false}; resending on
+				// later ticks is idempotent.
+				released++
+				sends = append(sends, sendCmd{p, &wire.SInterest{ServerID: act.Server, Group: name, Interested: false}})
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	for _, m := range expired {
+		c.log.Warn("migration timed out", "group", m.group, "from", m.from, "to", m.to)
+	}
+	for _, m := range launched {
+		c.log.Info("migration started", "group", m.group, "from", m.from, "to", m.to)
+	}
+	if reassigned > 0 {
+		clusterBackupReassigns.Add(uint64(reassigned))
+	}
+	if released > 0 {
+		clusterReplicasReleased.Add(uint64(released))
+	}
+	for _, s := range sends {
+		s.p.send(s.msg)
+	}
+}

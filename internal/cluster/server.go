@@ -46,6 +46,9 @@ type ServerConfig struct {
 	// RequestTimeout bounds coordinated operations (group ops, state
 	// fetches).
 	RequestTimeout time.Duration
+	// Placement configures the placement manager this server runs if it
+	// is ever promoted to coordinator.
+	Placement PlacementConfig
 	// Logger receives operational logs (nil: slog.Default).
 	Logger *slog.Logger
 }
@@ -287,12 +290,7 @@ func (s *Server) connectCoordinator(addr string) error {
 		conn.Close()
 		return ErrServerClosed
 	}
-	if s.link != nil {
-		_ = s.link.Close()
-	}
-	if s.pump != nil {
-		s.pump.Close()
-	}
+	oldLink, oldPump := s.link, s.pump
 	s.link = conn
 	s.pump = transport.NewPump(conn, 0)
 	s.coordAddr = addr
@@ -303,6 +301,13 @@ func (s *Server) connectCoordinator(addr string) error {
 	s.linkUp = true
 	s.mu.Unlock()
 
+	// Tear down the replaced link (pump drain) outside s.mu.
+	if oldLink != nil {
+		_ = oldLink.Close()
+	}
+	if oldPump != nil {
+		oldPump.Close()
+	}
 	s.log.Info("registered with coordinator", "addr", addr, "epoch", ack.Epoch, "boot", ack.BootOrder)
 	s.reRegisterState()
 	return nil
@@ -444,17 +449,33 @@ func (s *Server) handleCoordinatorMessage(msg wire.Message) {
 		}
 	case *wire.SHeartbeat:
 		// Echo the coordinator's timestamp so it can measure the round
-		// trip against its own clock.
-		s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: m.Epoch, Time: m.Time})
+		// trip against its own clock, carrying this server's load report
+		// for the placement tracker.
+		s.sendToCoordinator(&wire.SHeartbeat{
+			ServerID: s.cfg.ID, Epoch: m.Epoch, Time: m.Time, Load: s.loadReport(),
+		})
 	case *wire.SInterest:
-		// Coordinator-to-server interest is a backup designation.
+		// Coordinator-to-server interest is a backup designation;
+		// un-interest is a directed release of a surplus replica.
 		if m.Interested && m.Backup {
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
 				s.becomeBackup(m.Group)
 			}()
+		} else if !m.Interested {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.releaseDirected(m.Group)
+			}()
 		}
+	case *wire.SMigrate:
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runMigrationOut(m)
+		}()
 	case *wire.SDivergence:
 		s.wg.Add(1)
 		go func() {
@@ -481,6 +502,7 @@ func (s *Server) handleDistribute(m *wire.SDistribute) {
 		return
 	}
 	if errors.Is(err, core.ErrSeqGap) {
+		clusterSeqGaps.Inc()
 		s.log.Warn("sequence gap; catching up", "group", m.Group, "seq", m.Event.Seq)
 		s.wg.Add(1)
 		go func() {
@@ -517,6 +539,7 @@ func (s *Server) catchUp(group string) {
 				s.log.Warn("catch-up apply failed", "group", group, "err", applyErr)
 			}
 		}
+		clusterCatchups.Inc()
 		return
 	}
 	s.log.Warn("catch-up failed", "group", group, "err", err)
@@ -737,12 +760,44 @@ func (s *Server) acquireGroup(group string) error {
 	if err != nil {
 		return err
 	}
-	if err := s.engine.InstallGroup(group, persistent, cp); err != nil {
+	// Adopt, don't force-install: if a racing path (another join, an
+	// inbound migration) already produced a replica at or past this
+	// image's sequence, rewinding it would re-deliver events to members.
+	if _, err := s.engine.AdoptGroup(group, persistent, cp); err != nil {
 		return err
 	}
 	s.mirror.seed(group, members)
 	s.sendToCoordinator(&wire.SInterest{ServerID: s.cfg.ID, Group: group, Interested: true, Members: 0})
 	return nil
+}
+
+// releaseDirected answers a coordinator-directed release of a surplus
+// replica during rebalancing. The release is refused (by re-raising
+// interest) when local members still use the replica.
+func (s *Server) releaseDirected(group string) {
+	if n := s.engine.LocalMembers(group); n > 0 {
+		s.sendToCoordinator(&wire.SInterest{
+			ServerID: s.cfg.ID, Group: group, Interested: true, Members: uint64(n),
+		})
+		return
+	}
+	s.mu.Lock()
+	delete(s.backups, group)
+	s.mu.Unlock()
+	s.mirror.drop(group)
+	if err := s.engine.DeleteGroupDirect(group); err != nil {
+		s.log.Debug("directed release skipped", "group", group, "err", err)
+	}
+	s.sendToCoordinator(&wire.SInterest{ServerID: s.cfg.ID, Group: group, Interested: false})
+	s.log.Info("replica released on coordinator direction", "group", group)
+}
+
+// loadReport snapshots this server's load for the coordinator's placement
+// tracker. Stats reads are plain atomic loads, so this is safe on the
+// heartbeat path.
+func (s *Server) loadReport() wire.LoadReport {
+	st := s.engine.Stats()
+	return wire.LoadReport{Groups: st.Groups, Sessions: st.Sessions, Bcasts: st.Bcasts}
 }
 
 // becomeBackup answers a coordinator backup designation: acquire the group
@@ -761,6 +816,13 @@ func (s *Server) becomeBackup(group string) {
 		ServerID: s.cfg.ID, Group: group, Interested: true,
 		Members: uint64(s.engine.LocalMembers(group)), Backup: true,
 	})
+	// Heal the acquisition window: events sequenced between the state
+	// fetch and the interest registration above were neither in the image
+	// nor distributed here, and with no later traffic the gap check would
+	// never expose them. The interest registration and this fetch travel
+	// the same link in order, so everything sequenced before the fetch is
+	// fetchable and everything after is distributed.
+	s.catchUp(group)
 	s.log.Info("backup replica installed", "group", group)
 }
 
@@ -973,7 +1035,7 @@ func (s *Server) heartbeatLoop() {
 			// Time zero marks a server-initiated liveness ping (as
 			// opposed to an echo of a coordinator heartbeat), so the
 			// coordinator does not mistake it for an RTT sample.
-			s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: epoch})
+			s.sendToCoordinator(&wire.SHeartbeat{ServerID: s.cfg.ID, Epoch: epoch, Load: s.loadReport()})
 		}
 	}
 }

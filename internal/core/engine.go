@@ -372,6 +372,30 @@ func (e *Engine) LocalMembers(name string) int {
 func (e *Engine) InstallGroup(name string, persistent bool, cp state.Checkpointed) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.installLocked(name, persistent, cp)
+}
+
+// AdoptGroup installs a replica image only when it advances the local
+// replica: an existing state at or beyond cp.NextSeq is kept as is. Racing
+// installers (a migration stream and a concurrent join-driven acquisition)
+// can therefore both run to completion without ever rewinding the replica —
+// a rewind would re-apply sequenced events and deliver duplicates to local
+// members. Divergence rollback, which rewinds deliberately, keeps using
+// InstallGroup. The first result reports whether the image was installed.
+func (e *Engine) AdoptGroup(name string, persistent bool, cp state.Checkpointed) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st := e.getState(name); st != nil && st.NextSeq() >= cp.NextSeq {
+		return false, nil
+	}
+	if err := e.installLocked(name, persistent, cp); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// installLocked is InstallGroup under e.mu.
+func (e *Engine) installLocked(name string, persistent bool, cp state.Checkpointed) error {
 	st, err := state.RestoreMaterialized(cp)
 	if err != nil {
 		return fmt.Errorf("core: install %q: %w", name, err)
@@ -412,6 +436,30 @@ func (e *Engine) GroupImage(name string) (persistent bool, cp state.Checkpointed
 		return g.Persistent, state.Checkpointed{NextSeq: e.seqr.Peek(name)}, true
 	}
 	return g.Persistent, st.Checkpoint(), true
+}
+
+// CaptureMigration exports a COW view of a group's full replica image for
+// live migration: objects, retained history, and digest, shared with the
+// live state under the Transfer COW invariants. The critical section is
+// O(#objects), not O(bytes), so capturing never stalls the group's apply
+// path; the caller streams the view concurrently with new updates. ok is
+// false for unknown or stateless groups (nothing to migrate).
+func (e *Engine) CaptureMigration(name string) (persistent bool, tr state.Transfer, digest uint64, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	g, exists := e.reg.Get(name)
+	if !exists {
+		return false, state.Transfer{}, 0, false
+	}
+	st := e.getState(name)
+	if st == nil {
+		return false, state.Transfer{}, 0, false
+	}
+	gmu := e.groupMus[name]
+	gmu.Lock()
+	tr, digest = st.CaptureCheckpoint()
+	gmu.Unlock()
+	return g.Persistent, tr, digest, true
 }
 
 // EventsSince exports the retained event suffix of a group from seq

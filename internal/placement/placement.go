@@ -1,0 +1,47 @@
+// Package placement is the coordinator-side placement manager of the
+// replicated service: it decides which servers should hold each group's
+// replicas and what has to move to get there.
+//
+// The package is deliberately pure policy — no I/O, no cluster types. The
+// coordinator feeds it per-server load reports piggybacked on heartbeats
+// (Tracker), asks for the replica set each group should converge to
+// (Policy.Desired, a weighted rendezvous hash), and diffs that against the
+// replica set it actually has (PlanGroup). The returned Actions — designate
+// a fresh backup, migrate a replica between servers, release a surplus — are
+// executed by the cluster layer, which owns the wire protocol and the
+// migration driver.
+//
+// Three properties the paper's replicated design (§4) needs from placement:
+//
+//   - Proactive redundancy: every group converges to at least two live
+//     replicas without waiting for a member join or a failure-driven
+//     election to force one.
+//   - Stability: decisions are deterministic in the inputs, and the load
+//     weights are quantized coarsely, so the same cluster state always
+//     yields the same placement and small load jitter never causes replica
+//     ping-pong.
+//   - Member affinity: a server hosting members of a group is pinned — its
+//     replica is never migrated away, because local members are served from
+//     the local replica.
+package placement
+
+// Load is one server's reported load, carried to the coordinator in its
+// heartbeats. Bcasts is cumulative; the Tracker differentiates it into a
+// rate.
+type Load struct {
+	// Groups is the number of group replicas the server hosts.
+	Groups uint64
+	// Sessions is the number of connected client sessions.
+	Sessions uint64
+	// Bcasts is the cumulative count of multicasts delivered.
+	Bcasts uint64
+}
+
+// ServerLoad is a Tracker snapshot entry: a server's latest report plus the
+// smoothed broadcast rate derived from consecutive reports.
+type ServerLoad struct {
+	ID uint64
+	Load
+	// BcastRate is the smoothed multicast rate in events per second.
+	BcastRate float64
+}

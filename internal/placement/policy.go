@@ -1,0 +1,112 @@
+package placement
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Policy computes the replica set a group should converge to, using
+// weighted rendezvous hashing (highest random weight): each (group, server)
+// pair hashes to a uniform value, the value is skewed by the server's load
+// weight, and the top-ranked servers win. Rendezvous hashing gives minimal
+// disruption — a server joining or leaving only moves the groups it wins or
+// held — and determinism: every coordinator (including a freshly elected
+// one) derives the same placement from the same inputs.
+type Policy struct {
+	// Replicas is the target replica count per group. Values below
+	// DefaultReplicas are treated as DefaultReplicas: the paper's
+	// availability argument (§4.2) needs at least a primary and a
+	// hot-standby backup.
+	Replicas int
+}
+
+// DefaultReplicas is the paper's minimum: every group on at least two
+// servers.
+const DefaultReplicas = 2
+
+// Factor returns the effective replication factor.
+func (p Policy) Factor() int {
+	if p.Replicas < DefaultReplicas {
+		return DefaultReplicas
+	}
+	return p.Replicas
+}
+
+// weight maps a server's load to a placement weight in (0, 1]. The load is
+// quantized into power-of-two buckets before weighting: placement reacts to
+// a server being an order of magnitude busier, not to per-heartbeat jitter,
+// so the desired placement is stable while the cluster's load is. Hosted
+// replica counts are deliberately excluded — they are a consequence of
+// placement, and feeding them back would make the fixed point oscillate.
+func weight(s ServerLoad) float64 {
+	units := s.Sessions + uint64(s.BcastRate/100)
+	return 1 / float64(1+bits.Len64(units))
+}
+
+// hash64 is FNV-1a over the group name and server ID.
+func hash64(group string, id uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(group); i++ {
+		h ^= uint64(group[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (id >> (8 * i)) & 0xFF
+		h *= prime64
+	}
+	return h
+}
+
+// score is the weighted rendezvous rank of server s for the group:
+// -w / ln(u) with u uniform in (0,1) derived from the hash. Picking the
+// highest score selects each server with probability proportional to its
+// weight.
+func score(group string, s ServerLoad) float64 {
+	u := (float64(hash64(group, s.ID)>>11) + 0.5) / (1 << 53)
+	return -weight(s) / math.Log(u)
+}
+
+// Desired returns the servers that should hold the group's replicas: every
+// pinned server (member-hosting — immovable, since members are served from
+// the local replica), topped up to the replication factor with the
+// highest-scoring remaining servers. The result is sorted by ID and never
+// exceeds the live server count.
+func (p Policy) Desired(group string, servers []ServerLoad, pinned []uint64) []uint64 {
+	want := p.Factor()
+	out := make([]uint64, 0, want)
+	taken := make(map[uint64]bool, want)
+	for _, id := range pinned {
+		if !taken[id] {
+			taken[id] = true
+			out = append(out, id)
+		}
+	}
+	if len(out) < want {
+		ranked := make([]ServerLoad, 0, len(servers))
+		for _, s := range servers {
+			if !taken[s.ID] {
+				ranked = append(ranked, s)
+			}
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			si, sj := score(group, ranked[i]), score(group, ranked[j])
+			if si != sj {
+				return si > sj
+			}
+			return ranked[i].ID < ranked[j].ID
+		})
+		for _, s := range ranked {
+			if len(out) == want {
+				break
+			}
+			out = append(out, s.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

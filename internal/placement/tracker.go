@@ -1,0 +1,87 @@
+package placement
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// rateAlpha is the EWMA smoothing factor for the broadcast rate: new
+// observations get half the weight, so a one-heartbeat burst does not
+// reshuffle placement but a sustained shift shows up within a few beats.
+const rateAlpha = 0.5
+
+// Tracker maintains per-server load from heartbeat reports. All methods are
+// safe for concurrent use.
+type Tracker struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	servers map[uint64]*tracked
+}
+
+type tracked struct {
+	load   Load
+	rate   float64
+	lastAt time.Time
+	seeded bool
+}
+
+// NewTracker returns an empty tracker. now substitutes the clock for tests;
+// nil means time.Now.
+func NewTracker(now func() time.Time) *Tracker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracker{now: now, servers: make(map[uint64]*tracked)}
+}
+
+// Observe folds one load report into the tracker, differentiating the
+// cumulative broadcast counter into a smoothed rate. A counter that moved
+// backwards (the server restarted) restarts the rate from the new baseline.
+func (t *Tracker) Observe(id uint64, l Load) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	s := t.servers[id]
+	if s == nil {
+		s = new(tracked)
+		t.servers[id] = s
+	}
+	if s.seeded && l.Bcasts >= s.load.Bcasts {
+		if dt := now.Sub(s.lastAt).Seconds(); dt > 0 {
+			inst := float64(l.Bcasts-s.load.Bcasts) / dt
+			s.rate += rateAlpha * (inst - s.rate)
+		}
+	} else {
+		s.rate = 0
+	}
+	s.load = l
+	s.lastAt = now
+	s.seeded = true
+}
+
+// Forget drops a server (it deregistered or was declared dead).
+func (t *Tracker) Forget(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.servers, id)
+}
+
+// Len returns the number of tracked servers.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.servers)
+}
+
+// Snapshot returns the tracked servers sorted by ID.
+func (t *Tracker) Snapshot() []ServerLoad {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ServerLoad, 0, len(t.servers))
+	for id, s := range t.servers {
+		out = append(out, ServerLoad{ID: id, Load: s.load, BcastRate: s.rate})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

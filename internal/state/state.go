@@ -302,6 +302,31 @@ func (g *Group) Capture(policy wire.TransferPolicy) (Transfer, error) {
 	return t, nil
 }
 
+// CaptureCheckpoint takes an O(1)-in-bytes view of the full replica image —
+// every object plus the entire retained history — together with the running
+// digest, for live replica migration. The same COW contract as Capture
+// applies: the view shares the group's live buffers, the caller must hold
+// whatever lock serializes Apply while capturing, and afterwards treats the
+// view as read-only while streaming it. Unlike Checkpoint, nothing is
+// cloned, so a migration's lock-held critical section stays constant-time
+// no matter how large the group state is.
+func (g *Group) CaptureCheckpoint() (Transfer, uint64) {
+	t := Transfer{
+		objects: make(map[string][]byte, len(g.objects)),
+		events:  g.history,
+		baseSeq: g.baseSeq,
+		nextSeq: g.nextSeq,
+	}
+	for id, data := range g.objects {
+		t.objects[id] = data
+		t.bytes += uint64(len(id) + len(data))
+	}
+	for _, ev := range t.events {
+		t.bytes += uint64(len(ev.ObjectID) + len(ev.Data))
+	}
+	return t, g.digest
+}
+
 // Snapshot materializes a state transfer under the given policy (paper
 // §3.2, customized state transfer). It returns deep copies of the snapshot
 // objects and event suffix, and the base sequence number the objects

@@ -704,3 +704,66 @@ func TestCaptureResumeBeyondNextSeq(t *testing.T) {
 		t.Fatalf("caught-up resume = %d events, next %d", len(tr.Events()), tr.NextSeq())
 	}
 }
+
+func TestCaptureCheckpointRoundTrip(t *testing.T) {
+	g := New()
+	mustApply(t, g,
+		ev(1, wire.EventState, "a", "base"),
+		ev(2, wire.EventUpdate, "a", "+u"),
+		ev(3, wire.EventState, "b", "other"),
+	)
+	tr, digest := g.CaptureCheckpoint()
+	if digest != g.Digest() {
+		t.Fatalf("digest = %x, group %x", digest, g.Digest())
+	}
+	if tr.NextSeq() != g.NextSeq() {
+		t.Fatalf("NextSeq = %d, group %d", tr.NextSeq(), g.NextSeq())
+	}
+	if tr.PayloadBytes() == 0 {
+		t.Fatal("PayloadBytes = 0 for non-empty capture")
+	}
+	restored, err := RestoreMaterialized(Checkpointed{
+		BaseSeq: tr.BaseSeq(), NextSeq: tr.NextSeq(), Digest: digest,
+		Objects: tr.Objects(), History: tr.Events(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Digest() != g.Digest() || restored.NextSeq() != g.NextSeq() {
+		t.Fatalf("restored (seq %d, digest %x) != source (seq %d, digest %x)",
+			restored.NextSeq(), restored.Digest(), g.NextSeq(), g.Digest())
+	}
+	for _, id := range []string{"a", "b"} {
+		want, _ := g.Object(id)
+		got, ok := restored.Object(id)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("object %q = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestCaptureCheckpointStableUnderMutation(t *testing.T) {
+	g := New()
+	mustApply(t, g, ev(1, wire.EventState, "o", "v1"))
+	tr, digest := g.CaptureCheckpoint()
+
+	// Mutations after capture must not leak into the captured image.
+	mustApply(t, g, ev(2, wire.EventState, "o", "v2"))
+	if tr.NextSeq() != 2 {
+		t.Fatalf("capture NextSeq moved to %d", tr.NextSeq())
+	}
+	objs := tr.Objects()
+	if len(objs) != 1 || string(objs[0].Data) != "v1" {
+		t.Fatalf("captured objects mutated: %+v", objs)
+	}
+	restored, err := RestoreMaterialized(Checkpointed{
+		BaseSeq: tr.BaseSeq(), NextSeq: tr.NextSeq(), Digest: digest,
+		Objects: tr.Objects(), History: tr.Events(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Digest() != digest {
+		t.Fatalf("restored digest %x, capture said %x", restored.Digest(), digest)
+	}
+}

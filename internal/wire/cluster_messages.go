@@ -227,6 +227,10 @@ type SHeartbeat struct {
 	Epoch    uint64
 	// Time is the sender's clock, Unix nanoseconds, for diagnostics.
 	Time int64
+	// Load is the sender's load report (server→coordinator heartbeats
+	// only; zero on coordinator heartbeats and echoes). The placement
+	// manager differentiates consecutive reports into per-server rates.
+	Load LoadReport
 }
 
 // Kind implements Message.
@@ -237,6 +241,7 @@ func (m *SHeartbeat) Encode(e *Encoder) {
 	e.PutUvarint(m.ServerID)
 	e.PutUvarint(m.Epoch)
 	e.PutVarint(m.Time)
+	m.Load.encode(e)
 }
 
 // Decode implements Message.
@@ -244,6 +249,7 @@ func (m *SHeartbeat) Decode(d *Decoder) error {
 	m.ServerID = d.Uvarint()
 	m.Epoch = d.Uvarint()
 	m.Time = d.Varint()
+	m.Load = decodeLoadReport(d)
 	return d.Err()
 }
 

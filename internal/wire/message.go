@@ -62,6 +62,12 @@ const (
 	KindSDivergence
 	KindSGroupsQuery
 	KindSGroupsReport
+	KindSMigrate
+	KindSMigrateOffer
+	KindSMigrateChunk
+	KindSMigrateCutover
+	KindSMigrateResult
+	KindSMigrated
 )
 
 var kindNames = map[Kind]string{
@@ -112,6 +118,12 @@ var kindNames = map[Kind]string{
 	KindSDivergence:      "SDivergence",
 	KindSGroupsQuery:     "SGroupsQuery",
 	KindSGroupsReport:    "SGroupsReport",
+	KindSMigrate:         "SMigrate",
+	KindSMigrateOffer:    "SMigrateOffer",
+	KindSMigrateChunk:    "SMigrateChunk",
+	KindSMigrateCutover:  "SMigrateCutover",
+	KindSMigrateResult:   "SMigrateResult",
+	KindSMigrated:        "SMigrated",
 }
 
 func (k Kind) String() string {
@@ -181,6 +193,12 @@ var factories = map[Kind]func() Message{
 	KindSDivergence:      func() Message { return new(SDivergence) },
 	KindSGroupsQuery:     func() Message { return new(SGroupsQuery) },
 	KindSGroupsReport:    func() Message { return new(SGroupsReport) },
+	KindSMigrate:         func() Message { return new(SMigrate) },
+	KindSMigrateOffer:    func() Message { return new(SMigrateOffer) },
+	KindSMigrateChunk:    func() Message { return new(SMigrateChunk) },
+	KindSMigrateCutover:  func() Message { return new(SMigrateCutover) },
+	KindSMigrateResult:   func() Message { return new(SMigrateResult) },
+	KindSMigrated:        func() Message { return new(SMigrated) },
 }
 
 // Marshal encodes msg as a kind byte followed by the message body, appending

@@ -1,0 +1,256 @@
+package wire
+
+// This file defines the live group-migration messages (placement subsystem):
+// the coordinator directs a source server to stream one group replica to a
+// target server over a direct peer connection, reusing the chunked
+// state-transfer encoding so the move is zero-copy on the source and
+// bounded-memory on the wire. Deliveries stay gapless because the target
+// installs the streamed image, registers interest, and heals the seq window
+// between capture and registration through the ordinary catch-up path.
+
+// LoadReport is a server's lightweight load summary, piggybacked on every
+// server→coordinator SHeartbeat so the placement manager can weigh servers
+// without extra round trips. The counters come from the engine's obs gauges,
+// so assembling a report is a handful of atomic loads.
+type LoadReport struct {
+	// Groups is the number of group replicas the server hosts.
+	Groups uint64
+	// Sessions is the number of connected client sessions.
+	Sessions uint64
+	// Bcasts is the cumulative count of multicasts the server has
+	// delivered; the coordinator differentiates consecutive reports into a
+	// rate.
+	Bcasts uint64
+}
+
+func (l LoadReport) encode(e *Encoder) {
+	e.PutUvarint(l.Groups)
+	e.PutUvarint(l.Sessions)
+	e.PutUvarint(l.Bcasts)
+}
+
+func decodeLoadReport(d *Decoder) LoadReport {
+	return LoadReport{
+		Groups:   d.Uvarint(),
+		Sessions: d.Uvarint(),
+		Bcasts:   d.Uvarint(),
+	}
+}
+
+// SMigrate directs a source server to stream one of its group replicas to a
+// target server (coordinator → source).
+type SMigrate struct {
+	RequestID uint64
+	Group     string
+	TargetID  uint64
+	// TargetAddr is the target's peer listener address; the source dials
+	// it directly so the bulk transfer never transits the coordinator.
+	TargetAddr string
+}
+
+// Kind implements Message.
+func (*SMigrate) Kind() Kind { return KindSMigrate }
+
+// Encode implements Message.
+func (m *SMigrate) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutString(m.Group)
+	e.PutUvarint(m.TargetID)
+	e.PutString(m.TargetAddr)
+}
+
+// Decode implements Message.
+func (m *SMigrate) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Group = d.String()
+	m.TargetID = d.Uvarint()
+	m.TargetAddr = d.String()
+	return d.Err()
+}
+
+// SMigrateOffer opens a migration stream on the target's peer listener
+// (source → target). It carries the captured image's bounds so the target
+// can verify the reassembled payload before installing it.
+type SMigrateOffer struct {
+	RequestID uint64
+	SourceID  uint64
+	Group     string
+	// Persistent mirrors the group's registration flag.
+	Persistent bool
+	BaseSeq    uint64
+	NextSeq    uint64
+	// Digest is the source replica's history digest at NextSeq-1.
+	Digest uint64
+	// Total is the transfer payload size in bytes.
+	Total uint64
+	// Members is the source's view of the group's global membership, so
+	// the target can seed its member mirror before serving joins.
+	Members []MemberInfo
+}
+
+// Kind implements Message.
+func (*SMigrateOffer) Kind() Kind { return KindSMigrateOffer }
+
+// Encode implements Message.
+func (m *SMigrateOffer) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(m.SourceID)
+	e.PutString(m.Group)
+	e.PutBool(m.Persistent)
+	e.PutUvarint(m.BaseSeq)
+	e.PutUvarint(m.NextSeq)
+	e.PutUint64(m.Digest)
+	e.PutUvarint(m.Total)
+	encodeMembers(e, m.Members)
+}
+
+// Decode implements Message.
+func (m *SMigrateOffer) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.SourceID = d.Uvarint()
+	m.Group = d.String()
+	m.Persistent = d.Bool()
+	m.BaseSeq = d.Uvarint()
+	m.NextSeq = d.Uvarint()
+	m.Digest = d.Uint64()
+	m.Total = d.Uvarint()
+	m.Members = decodeMembers(d)
+	return d.Err()
+}
+
+// SMigrateChunk carries one chunk of the migration payload (source →
+// target), encoded exactly like a client TransferChunk payload.
+type SMigrateChunk struct {
+	RequestID uint64
+	// Offset is this chunk's starting byte position within the payload.
+	Offset uint64
+	// Data aliases the decode buffer: it is valid only until the
+	// connection's next read. The receiver appends it to its reassembly
+	// buffer immediately, so a per-chunk defensive copy would only double
+	// the transfer's allocation volume.
+	Data []byte
+}
+
+// Kind implements Message.
+func (*SMigrateChunk) Kind() Kind { return KindSMigrateChunk }
+
+// Encode implements Message.
+func (m *SMigrateChunk) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(m.Offset)
+	e.PutBytes(m.Data)
+}
+
+// Decode implements Message.
+func (m *SMigrateChunk) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Offset = d.Uvarint()
+	//lint:allow aliasretain Data documents the aliasing contract: valid until the next read, appended immediately
+	m.Data = d.Bytes()
+	return d.Err()
+}
+
+// SMigrateCutover terminates the migration stream (source → target). It
+// repeats the image's sequence high-water mark and digest so the target can
+// prove the reassembled state is exactly the captured image before cutting
+// over; events sequenced after NextSeq-1 reach the target through the
+// ordinary distribute/catch-up path, keeping per-group order gapless.
+type SMigrateCutover struct {
+	RequestID uint64
+	NextSeq   uint64
+	Digest    uint64
+}
+
+// Kind implements Message.
+func (*SMigrateCutover) Kind() Kind { return KindSMigrateCutover }
+
+// Encode implements Message.
+func (m *SMigrateCutover) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutUvarint(m.NextSeq)
+	e.PutUint64(m.Digest)
+}
+
+// Decode implements Message.
+func (m *SMigrateCutover) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.NextSeq = d.Uvarint()
+	m.Digest = d.Uint64()
+	return d.Err()
+}
+
+// SMigrateResult reports the target's install outcome back over the
+// migration connection (target → source).
+type SMigrateResult struct {
+	RequestID uint64
+	OK        bool
+	Text      string
+	// NextSeq is the target replica's next expected sequence number after
+	// install (and any catch-up it has already run).
+	NextSeq uint64
+}
+
+// Kind implements Message.
+func (*SMigrateResult) Kind() Kind { return KindSMigrateResult }
+
+// Encode implements Message.
+func (m *SMigrateResult) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutBool(m.OK)
+	e.PutString(m.Text)
+	e.PutUvarint(m.NextSeq)
+}
+
+// Decode implements Message.
+func (m *SMigrateResult) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.OK = d.Bool()
+	m.Text = d.String()
+	m.NextSeq = d.Uvarint()
+	return d.Err()
+}
+
+// SMigrated reports a finished migration to the coordinator (source →
+// coordinator), successful or not, so the placement manager can retire its
+// in-flight record.
+type SMigrated struct {
+	RequestID uint64
+	Group     string
+	SourceID  uint64
+	TargetID  uint64
+	OK        bool
+	Text      string
+	// Bytes is the payload volume streamed to the target.
+	Bytes uint64
+	// Released reports whether the source dropped its replica after the
+	// move; it keeps the replica when local members joined mid-stream.
+	Released bool
+}
+
+// Kind implements Message.
+func (*SMigrated) Kind() Kind { return KindSMigrated }
+
+// Encode implements Message.
+func (m *SMigrated) Encode(e *Encoder) {
+	e.PutUvarint(m.RequestID)
+	e.PutString(m.Group)
+	e.PutUvarint(m.SourceID)
+	e.PutUvarint(m.TargetID)
+	e.PutBool(m.OK)
+	e.PutString(m.Text)
+	e.PutUvarint(m.Bytes)
+	e.PutBool(m.Released)
+}
+
+// Decode implements Message.
+func (m *SMigrated) Decode(d *Decoder) error {
+	m.RequestID = d.Uvarint()
+	m.Group = d.String()
+	m.SourceID = d.Uvarint()
+	m.TargetID = d.Uvarint()
+	m.OK = d.Bool()
+	m.Text = d.String()
+	m.Bytes = d.Uvarint()
+	m.Released = d.Bool()
+	return d.Err()
+}

@@ -95,7 +95,7 @@ func TestRoundTripClusterMessages(t *testing.T) {
 		&SDistribute{Group: "g", Event: sampleEvent(8), SenderInclusive: false, Origin: 2, RequestID: 4},
 		&SInterest{ServerID: 2, Group: "g", Interested: true, Members: 5, Backup: true},
 		&SMemberUpdate{ServerID: 2, Group: "g", Change: MemberJoined, Member: MemberInfo{ClientID: 3, Name: "c", Role: RolePrincipal}},
-		&SHeartbeat{ServerID: 2, Epoch: 3, Time: 42},
+		&SHeartbeat{ServerID: 2, Epoch: 3, Time: 42, Load: LoadReport{Groups: 4, Sessions: 17, Bcasts: 8192}},
 		&SServerList{CoordinatorID: 1, Epoch: 3, Servers: []ServerInfo{{ID: 1, Addr: "a"}}},
 		&SElect{CandidateID: 2, Epoch: 4, Addr: "127.0.0.1:9001"},
 		&SElectReply{VoterID: 3, CandidateID: 2, Epoch: 4, Ack: true},
@@ -114,6 +114,17 @@ func TestRoundTripClusterMessages(t *testing.T) {
 		&SDivergence{Group: "g", Resolution: ResolutionRollback},
 		&SGroupsQuery{RequestID: 8},
 		&SGroupsReport{RequestID: 8, Groups: []string{"a", "b"}},
+		&SMigrate{RequestID: 9, Group: "g", TargetID: 4, TargetAddr: "127.0.0.1:9002"},
+		&SMigrateOffer{
+			RequestID: 9, SourceID: 3, Group: "g", Persistent: true,
+			BaseSeq: 5, NextSeq: 12, Digest: 0xFEED, Total: 4096,
+			Members: []MemberInfo{{ClientID: 9, Name: "m", Role: RolePrincipal}},
+		},
+		&SMigrateChunk{RequestID: 9, Offset: 256, Data: []byte("migratebytes")},
+		&SMigrateCutover{RequestID: 9, NextSeq: 12, Digest: 0xFEED},
+		&SMigrateResult{RequestID: 9, OK: true, NextSeq: 12},
+		&SMigrateResult{RequestID: 9, OK: false, Text: "digest mismatch"},
+		&SMigrated{RequestID: 9, Group: "g", SourceID: 3, TargetID: 4, OK: true, Bytes: 4096, Released: true},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)

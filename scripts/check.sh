@@ -51,4 +51,14 @@ go run ./cmd/corona-bench -experiment multigroup -groups 1,2 -per-group 1 -durat
 echo "== jointransfer smoke"
 go run ./cmd/corona-bench -experiment jointransfer -jt-sizes 1 -jt-joins 1 -duration 200ms >/dev/null
 
+echo "== placement smoke"
+go run ./cmd/corona-bench -experiment placement -pl-state 1 -pl-groups 2 >/dev/null
+
+echo "== rebalance churn (race)"
+# The live-migration acceptance test: gapless deliveries and identical
+# replica images while groups migrate under broadcast load and a server
+# crashes mid-churn. -count=1 defeats the cache so the race detector
+# really runs it on every gate.
+go test -race -count=1 -run 'TestRebalanceUnderChurn|TestLiveMigrationUnderLoad' ./internal/cluster >/dev/null
+
 echo "OK"
