@@ -1,0 +1,85 @@
+// Fixture "batch": the batched ingest path's lock shapes — a run of events
+// sequenced, applied, and fanned out under one engine read-lock +
+// group-mutex hold. The conforming shape — non-blocking work in the batch
+// loop, acknowledgements sent only after both locks are released — must
+// stay silent; the seeded violations (// want) are the mistakes the
+// batching refactor must never reintroduce. The package is named core
+// because lockhold scopes itself to the engine packages by name.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"wal"
+)
+
+type entry struct {
+	seq   uint64
+	reqID uint64
+}
+
+type Engine struct {
+	mu   sync.RWMutex
+	gmu  sync.Mutex
+	log  *wal.Log
+	acks chan uint64
+}
+
+// applyBatch is the conforming shape: validation, sequencing, apply, and
+// async WAL enqueue all under the locks, with nothing that blocks.
+func (e *Engine) applyBatch(entries []entry) {
+	e.mu.RLock()
+	e.gmu.Lock()
+	for i := range entries {
+		entries[i].seq = uint64(i)
+		e.log.AppendAsync(nil) // non-blocking enqueue: fine
+	}
+	e.gmu.Unlock()
+	e.mu.RUnlock()
+	// Acks leave after both locks are released: fine.
+	for _, ent := range entries {
+		e.acks <- ent.reqID
+	}
+}
+
+// ackInsideLoop sends acks from inside the batch loop while the group
+// mutex is held — the per-message shape the batched path exists to avoid.
+func (e *Engine) ackInsideLoop(entries []entry) {
+	e.gmu.Lock()
+	for _, ent := range entries {
+		e.acks <- ent.reqID // want `channel send while "e\.gmu" is held`
+	}
+	e.gmu.Unlock()
+}
+
+// syncWALPerEntry commits each batch entry synchronously under the engine
+// lock: one blocking fsync per message, inside the hot-path span.
+func (e *Engine) syncWALPerEntry(entries []entry) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for range entries {
+		e.log.Append(nil) // want `\(\*File\)\.Write \[file I/O\] \(via \(\*Log\)\.Append\) while "e\.mu" is held`
+	}
+}
+
+// debugBatch logs the batch size while both locks are held.
+func (e *Engine) debugBatch(entries []entry) {
+	e.mu.RLock()
+	e.gmu.Lock()
+	defer e.gmu.Unlock()
+	defer e.mu.RUnlock()
+	fmt.Println(len(entries)) // want `fmt\.Println \[I/O\] while "e\.gmu" is held`
+}
+
+// asyncAckExempt hands the acks to a goroutine: the send happens off this
+// stack, so holding the lock here is fine.
+func (e *Engine) asyncAckExempt(entries []entry) {
+	e.gmu.Lock()
+	defer e.gmu.Unlock()
+	go func(ents []entry) {
+		for _, ent := range ents {
+			e.acks <- ent.reqID
+		}
+	}(entries)
+}

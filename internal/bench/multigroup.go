@@ -53,6 +53,10 @@ type MultigroupPoint struct {
 	// AllocsPerMsg is process-wide heap allocations per multicast (see
 	// ThroughputResult.AllocsPerMsg).
 	AllocsPerMsg float64
+	// AvgIngestBatch / AvgDeliveryBatch are the mean ingest and fanout
+	// batch sizes (see ThroughputResult).
+	AvgIngestBatch   float64
+	AvgDeliveryBatch float64
 }
 
 // RunMultigroup measures aggregate throughput at each group count, each on
@@ -142,6 +146,7 @@ func runMultigroupPoint(cfg MultigroupConfig, groups int, dir string) (Multigrou
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	before := srv.Engine().Stats()
+	metricsBefore := srv.Engine().Metrics().Snapshot()
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
@@ -171,6 +176,7 @@ func runMultigroupPoint(cfg MultigroupConfig, groups int, dir string) (Multigrou
 	wg.Wait()
 	elapsed := time.Since(start)
 	after := srv.Engine().Stats()
+	metricsAfter := srv.Engine().Metrics().Snapshot()
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
 
@@ -181,6 +187,7 @@ func runMultigroupPoint(cfg MultigroupConfig, groups int, dir string) (Multigrou
 		IngestedKBps: float64(msgs) * float64(cfg.MsgSize) / 1024 / secs,
 		MsgsPerSec:   float64(msgs) / secs,
 	}
+	p.AvgIngestBatch, p.AvgDeliveryBatch = batchMeans(metricsBefore, metricsAfter)
 	if msgs > 0 {
 		p.AllocsPerMsg = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(msgs)
 	}
@@ -195,8 +202,9 @@ func PrintMultigroup(w io.Writer, points []MultigroupPoint, cfg MultigroupConfig
 	}
 	fmt.Fprintf(w, "Multi-group scaling: %d blasters per group, %d B messages, %s, GOMAXPROCS=%d\n",
 		cfg.ClientsPerGroup, cfg.MsgSize, policy, runtime.GOMAXPROCS(0))
-	fmt.Fprintf(w, "%-8s %-14s %-12s %-9s %-12s\n", "groups", "KB/s", "msgs/s", "scaling", "allocs/msg")
+	fmt.Fprintf(w, "%-8s %-14s %-12s %-9s %-12s %-8s %-8s\n", "groups", "KB/s", "msgs/s", "scaling", "allocs/msg", "ingest", "deliver")
 	for _, p := range points {
-		fmt.Fprintf(w, "%-8d %-14.0f %-12.0f %-9.2f %-12.1f\n", p.Groups, p.IngestedKBps, p.MsgsPerSec, p.Scaling, p.AllocsPerMsg)
+		fmt.Fprintf(w, "%-8d %-14.0f %-12.0f %-9.2f %-12.1f %-8.1f %-8.1f\n",
+			p.Groups, p.IngestedKBps, p.MsgsPerSec, p.Scaling, p.AllocsPerMsg, p.AvgIngestBatch, p.AvgDeliveryBatch)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"corona/internal/client"
 	"corona/internal/core"
+	"corona/internal/obs"
 	"corona/internal/wal"
 	"corona/internal/wire"
 )
@@ -51,6 +52,26 @@ type ThroughputResult struct {
 	// both sides of the protocol; it is a regression tripwire for the
 	// pooled fanout path, not a pure server number.
 	AllocsPerMsg float64
+	// AvgIngestBatch is the mean number of Bcasts the server's read loops
+	// coalesced per engine call during the blast (1.0 = no coalescing).
+	AvgIngestBatch float64
+	// AvgDeliveryBatch is the mean number of events per fanout frame.
+	AvgDeliveryBatch float64
+}
+
+// batchMeans computes the mean ingest and delivery batch sizes between two
+// metric snapshots.
+func batchMeans(before, after obs.Snapshot) (ingest, delivery float64) {
+	return histMeanDelta(before.Histograms["engine.ingest_batch_size"], after.Histograms["engine.ingest_batch_size"]),
+		histMeanDelta(before.Histograms["engine.delivery_batch_size"], after.Histograms["engine.delivery_batch_size"])
+}
+
+func histMeanDelta(before, after obs.HistogramSnapshot) float64 {
+	count := after.Count - before.Count
+	if count == 0 {
+		return 0
+	}
+	return float64(after.Sum-before.Sum) / float64(count)
 }
 
 // RunThroughput measures one Table 1 cell.
@@ -116,6 +137,7 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	before := srv.Engine().Stats()
+	metricsBefore := srv.Engine().Metrics().Snapshot()
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
@@ -146,6 +168,7 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	after := srv.Engine().Stats()
+	metricsAfter := srv.Engine().Metrics().Snapshot()
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
 
@@ -157,6 +180,7 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		DeliveredKBps: float64(delivered) * float64(cfg.MsgSize) / 1024 / secs,
 		Messages:      msgs,
 	}
+	res.AvgIngestBatch, res.AvgDeliveryBatch = batchMeans(metricsBefore, metricsAfter)
 	if msgs > 0 {
 		res.AllocsPerMsg = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(msgs)
 	}
@@ -172,6 +196,11 @@ type Table1Row struct {
 	KBps10K   float64
 	Allocs1K  float64
 	Allocs10K float64
+	// Batch1K/Batch10K are the mean ingest batch sizes at each message
+	// size (AvgIngestBatch): how much of the blast the adaptive drain
+	// actually coalesced.
+	Batch1K  float64
+	Batch10K float64
 }
 
 // RunTable1 measures every logging policy at both message sizes. The
@@ -206,9 +235,11 @@ func RunTable1(clients int, duration time.Duration, dir string) ([]Table1Row, er
 			if size == 1000 {
 				row.KBps1K = res.IngestedKBps
 				row.Allocs1K = res.AllocsPerMsg
+				row.Batch1K = res.AvgIngestBatch
 			} else {
 				row.KBps10K = res.IngestedKBps
 				row.Allocs10K = res.AllocsPerMsg
+				row.Batch10K = res.AvgIngestBatch
 			}
 		}
 		out = append(out, row)
@@ -220,8 +251,9 @@ func RunTable1(clients int, duration time.Duration, dir string) ([]Table1Row, er
 func PrintTable1(w io.Writer, rows []Table1Row, clients int) {
 	fmt.Fprintf(w, "Table 1: server throughput (KB/s), %d blasting clients\n", clients)
 	fmt.Fprintf(w, "(paper rows: UltraSparc vs quad Pentium II; reproduced axis: logging policy)\n")
-	fmt.Fprintf(w, "%-32s %-10s %-10s %-12s %-12s\n", "server configuration", "1000 B", "10000 B", "allocs/msg", "allocs/msg")
+	fmt.Fprintf(w, "%-32s %-10s %-10s %-12s %-12s %-10s %-10s\n", "server configuration", "1000 B", "10000 B", "allocs/msg", "allocs/msg", "batch", "batch")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-32s %-10.0f %-10.0f %-12.1f %-12.1f\n", r.Config, r.KBps1K, r.KBps10K, r.Allocs1K, r.Allocs10K)
+		fmt.Fprintf(w, "%-32s %-10.0f %-10.0f %-12.1f %-12.1f %-10.1f %-10.1f\n",
+			r.Config, r.KBps1K, r.KBps10K, r.Allocs1K, r.Allocs10K, r.Batch1K, r.Batch10K)
 	}
 }

@@ -273,17 +273,13 @@ func (c *Client) readLoop(conn *transport.Conn, gen int) {
 		}
 		switch m := msg.(type) {
 		case *wire.Deliver:
-			if m.Event.Time > 0 {
-				if d := time.Now().UnixNano() - m.Event.Time; d >= 0 && d < int64(time.Minute) {
-					clientDeliveryNs.Record(d)
-				}
-			}
-			if c.bufferDelivery(m.Group, m.Event) {
-				break // held until the group's TransferDone
-			}
-			c.noteDelivered(m.Group, m.Event.Seq)
-			if c.cfg.OnEvent != nil {
-				c.cfg.OnEvent(m.Group, m.Event)
+			c.deliverOne(m.Group, m.Event)
+		case *wire.DeliverBatch:
+			// A batch is a run of consecutively sequenced events; feeding
+			// each through the single-delivery path keeps the ordering,
+			// transfer-buffering, and resume-cursor logic identical.
+			for _, ev := range m.Events {
+				c.deliverOne(m.Group, ev)
 			}
 		case *wire.MembershipNotify:
 			if c.cfg.OnMembership != nil {
@@ -351,6 +347,24 @@ func (c *Client) reconnectLoop() {
 		if backoff < max {
 			backoff *= 2
 		}
+	}
+}
+
+// deliverOne runs one sequenced event through the ordered delivery path:
+// latency sample, transfer buffering, resume cursor, then the OnEvent
+// callback.
+func (c *Client) deliverOne(group string, ev wire.Event) {
+	if ev.Time > 0 {
+		if d := time.Now().UnixNano() - ev.Time; d >= 0 && d < int64(time.Minute) {
+			clientDeliveryNs.Record(d)
+		}
+	}
+	if c.bufferDelivery(group, ev) {
+		return // held until the group's TransferDone
+	}
+	c.noteDelivered(group, ev.Seq)
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(group, ev)
 	}
 }
 

@@ -90,7 +90,7 @@ type peer struct {
 }
 
 func (p *peer) send(msg wire.Message) {
-	if err := p.pump.Send(transport.EncodeFrame(nil, msg)); err != nil {
+	if err := p.pump.SendMessage(msg); err != nil {
 		_ = p.conn.Close() // read loop notices and deregisters
 	}
 }
@@ -577,12 +577,15 @@ func (c *Coordinator) handleForward(m *wire.SForward) {
 	}
 	c.mu.Unlock()
 
-	frame := transport.EncodeFrame(nil, dist)
+	f := transport.NewSharedFrame(dist)
 	for _, p := range targets {
-		if err := p.pump.Send(frame); err != nil {
+		f.Retain()
+		if err := p.pump.SendShared(f, false); err != nil {
+			f.Release()
 			_ = p.conn.Close()
 		}
 	}
+	f.Release()
 }
 
 // handleInterest records a server's stake in a group and keeps the

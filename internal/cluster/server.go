@@ -360,7 +360,7 @@ func (s *Server) sendToCoordinator(msg wire.Message) bool {
 	if !up || pump == nil {
 		return false
 	}
-	if err := pump.Send(transport.EncodeFrame(nil, msg)); err != nil {
+	if err := pump.SendMessage(msg); err != nil {
 		if link != nil {
 			_ = link.Close()
 		}
@@ -398,14 +398,83 @@ func (s *Server) linkLoop() {
 	}
 }
 
+// maxDistributeBatch caps how many sequenced events the link's read loop
+// coalesces into one ApplyDistributeBatch call.
+const maxDistributeBatch = 64
+
 // readLink consumes messages from the coordinator until the link errors.
+// Frames already buffered on the link are drained greedily — without
+// waiting — so a burst of same-group SDistributes is applied under one
+// lock acquisition with one fanout frame per member, mirroring the
+// client-facing ingest batcher.
 func (s *Server) readLink(link *transport.Conn) {
+	var run []*wire.SDistribute
+	flush := func() {
+		s.dispatchDistributes(run)
+		run = run[:0]
+	}
 	for {
 		msg, err := link.ReadMessage()
-		if err != nil {
-			return
+		for {
+			if err != nil {
+				flush()
+				return
+			}
+			if msg == nil {
+				flush()
+				break
+			}
+			if d, ok := msg.(*wire.SDistribute); ok {
+				if len(run) > 0 && run[len(run)-1].Group != d.Group {
+					flush()
+				}
+				run = append(run, d)
+				if len(run) >= maxDistributeBatch {
+					flush()
+				}
+			} else {
+				flush()
+				s.handleCoordinatorMessage(msg)
+			}
+			msg, err = link.ReadMessageBuffered()
 		}
-		s.handleCoordinatorMessage(msg)
+	}
+}
+
+// dispatchDistributes applies a drained run of same-group SDistributes as
+// one batch. Any error — a sequence gap, or a group this replica does not
+// host yet — falls back to the per-message path from the first unconsumed
+// item on, which owns the catch-up logic.
+func (s *Server) dispatchDistributes(ms []*wire.SDistribute) {
+	if len(ms) == 0 {
+		return
+	}
+	if len(ms) == 1 {
+		s.handleDistribute(ms[0])
+		return
+	}
+	now := time.Now().UnixNano()
+	items := make([]core.DistEvent, 0, len(ms))
+	for _, m := range ms {
+		reqID := uint64(0)
+		if m.Origin == s.cfg.ID {
+			reqID = m.RequestID
+		}
+		items = append(items, core.DistEvent{Event: m.Event, SenderInclusive: m.SenderInclusive, ReqID: reqID})
+	}
+	consumed, err := s.engine.ApplyDistributeBatch(ms[0].Group, items)
+	// The consumed prefix is done; the fallback below records its own
+	// samples, so only the prefix is sampled here.
+	for _, m := range ms[:consumed] {
+		if d := now - m.Event.Time; plausibleLatency(d) {
+			clusterDistributeNs.Record(d)
+		}
+	}
+	if err == nil {
+		return
+	}
+	for _, m := range ms[consumed:] {
+		s.handleDistribute(m)
 	}
 }
 

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"corona/internal/membership"
+	"corona/internal/transport"
+	"corona/internal/wal"
+	"corona/internal/wire"
+)
+
+// maxIngestBatch caps how many Bcasts a session's read loop coalesces into
+// one engine call. At the default pump depth the cap also guarantees a
+// batch's immediate acks always fit one SendSharedBatch admission.
+const maxIngestBatch = 64
+
+// dispatchBcasts feeds a drained run of Bcasts from one session into the
+// engine, coalescing consecutive same-group messages into one BcastBatch
+// call. Runs are consecutive only — the global arrival order is never
+// reordered, so FIFO per sender and ack ordering are exactly what the
+// unbatched path produces. A run of one takes the ordinary handleBcast
+// path, which keeps the isolated-message latency profile untouched.
+func (e *Engine) dispatchBcasts(s *Session, msgs []*wire.Bcast) {
+	if len(msgs) == 0 {
+		return
+	}
+	// The intercept hook sees every request, batched or not, before the
+	// engine — same contract as HandleMessage (no engine lock, may block).
+	if e.cfg.Hooks.Intercept != nil {
+		kept := msgs[:0]
+		for _, m := range msgs {
+			if !e.cfg.Hooks.Intercept(s, m) {
+				kept = append(kept, m)
+			}
+		}
+		msgs = kept
+	}
+	for start := 0; start < len(msgs); {
+		end := start + 1
+		for end < len(msgs) && msgs[end].Group == msgs[start].Group {
+			end++
+		}
+		if end-start == 1 {
+			e.handleBcast(s, msgs[start])
+		} else {
+			e.bcastBatch(s, msgs[start].Group, msgs[start:end])
+		}
+		start = end
+	}
+}
+
+// batchEntry is one sequenced event of a same-group batch, tracked through
+// apply, fanout, and persistence.
+type batchEntry struct {
+	ev    wire.Event
+	incl  bool
+	reqID uint64
+	// onDurable, when non-nil, acknowledges the sender from the WAL
+	// commit callback (SyncAlways deferral).
+	onDurable func()
+	// applied is false when state.Apply rejected the event; the entry is
+	// still acknowledged (same contract as the unbatched path) but not
+	// delivered or persisted.
+	applied bool
+	// deferred reports that the ack was handed to the WAL group-commit
+	// writer instead of being sent inline.
+	deferred bool
+}
+
+// bcastBatch sequences, applies, and fans out a run of same-group Bcasts
+// from one session under a single engine-RLock + group-mutex acquisition —
+// the ingest half of the batching pipeline. Validation runs once per batch
+// where the engine write lock already serializes changes (group existence,
+// membership, role) and per message where it cannot (event kind). The
+// immediate acks leave as one batched pump enqueue.
+func (e *Engine) bcastBatch(s *Session, group string, msgs []*wire.Bcast) {
+	e.mu.RLock()
+
+	g, ok := e.reg.Get(group)
+	if !ok {
+		e.mu.RUnlock()
+		for _, m := range msgs {
+			s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
+		}
+		return
+	}
+	if !g.Has(s.ID) {
+		e.mu.RUnlock()
+		for _, m := range msgs {
+			s.sendErr(m.RequestID, wire.CodeNotMember, "only members may multicast")
+		}
+		return
+	}
+	if mi, ok := g.Member(s.ID); ok && mi.Role == wire.RoleObserver {
+		e.mu.RUnlock()
+		for _, m := range msgs {
+			s.sendErr(m.RequestID, wire.CodeDenied, "observers may not modify shared state")
+		}
+		return
+	}
+	for _, m := range msgs {
+		if !m.EvKind.Valid() {
+			s.sendErr(m.RequestID, wire.CodeBadRequest, "invalid event kind")
+		}
+	}
+
+	if e.cfg.Hooks.Forward != nil {
+		// Replicated service: the coordinator sequences. Forwarding the
+		// whole run under one read-lock hold amortizes the lock; each
+		// ack still arrives via ApplyDistribute.
+		for _, m := range msgs {
+			if !m.EvKind.Valid() {
+				continue
+			}
+			ev := wire.Event{Kind: m.EvKind, ObjectID: m.ObjectID, Data: m.Data, Sender: s.ID}
+			if err := e.cfg.Hooks.Forward(group, ev, m.SenderInclusive, m.RequestID); err != nil {
+				s.sendErr(m.RequestID, wire.CodeInternal, err.Error())
+			}
+		}
+		e.mu.RUnlock()
+		return
+	}
+
+	deferAcks := e.wal != nil && g.Persistent && e.cfg.Sync == wal.SyncAlways
+	entries := s.batchEntries[:0]
+	gmu := e.groupMus[group]
+	waitStart := time.Now()
+	gmu.Lock()
+	e.hLockWait.Record(time.Since(waitStart).Nanoseconds())
+	for _, m := range msgs {
+		if !m.EvKind.Valid() {
+			continue
+		}
+		ev := wire.Event{Kind: m.EvKind, ObjectID: m.ObjectID, Data: m.Data, Sender: s.ID}
+		ev.Seq, ev.Time = e.seqr.Next(group)
+		ent := batchEntry{ev: ev, incl: m.SenderInclusive, reqID: m.RequestID}
+		if deferAcks {
+			reqID, seq := m.RequestID, ev.Seq
+			ent.onDurable = func() {
+				s.send(&wire.BcastAck{RequestID: reqID, Seq: seq})
+			}
+		}
+		entries = append(entries, ent)
+	}
+	if len(entries) > 0 {
+		e.hIngestBatch.Record(int64(len(entries)))
+		e.applyAndFanoutBatch(group, g, entries)
+	}
+	gmu.Unlock()
+	e.mu.RUnlock()
+
+	// Immediate acks (everything the WAL writer did not take over) leave
+	// as one batched enqueue: one pump mutex acquisition per batch.
+	acks := s.ackFrames[:0]
+	for i := range entries {
+		if entries[i].deferred {
+			continue
+		}
+		acks = append(acks, transport.NewSharedFrame(&wire.BcastAck{
+			RequestID: entries[i].reqID, Seq: entries[i].ev.Seq,
+		}))
+	}
+	s.sendSharedBatch(acks, false)
+	s.batchEntries = entries[:0]
+	s.ackFrames = acks[:0]
+}
+
+// applyAndFanoutBatch is applyAndFanout over a run of sequenced same-group
+// events: each event folds into the group state, the applied ones fan out
+// as one pooled DeliverBatch frame per receiver, and each record enters the
+// WAL group-commit queue in sequence order. Apply failures mirror the
+// unbatched semantics — counted, traced, logged off-lock, acknowledged but
+// neither delivered nor persisted. Caller holds e.mu (read mode suffices)
+// and the group's mutex.
+func (e *Engine) applyAndFanoutBatch(name string, g *membership.Group, entries []batchEntry) {
+	start := time.Now()
+	defer func() { e.hFanout.Record(time.Since(start).Nanoseconds()) }()
+	e.mBcasts.Add(uint64(len(entries)))
+	st := e.getState(name)
+	for i := range entries {
+		entries[i].applied = true
+		if st == nil {
+			continue
+		}
+		if err := st.Apply(entries[i].ev); err != nil {
+			entries[i].applied = false
+			e.mApplyErrors.Inc()
+			e.metrics.Event("core", fmt.Sprintf("apply failed: group=%s seq=%d: %v", name, entries[i].ev.Seq, err))
+			go e.log.Error("apply failed", "group", name, "seq", entries[i].ev.Seq, "err", err)
+		}
+	}
+
+	e.fanoutBatch(name, g, entries)
+
+	if st != nil {
+		for i := range entries {
+			if !entries[i].applied {
+				continue
+			}
+			entries[i].deferred = e.persistEvent(name, g.Persistent, entries[i].ev, entries[i].onDurable)
+		}
+		if t := e.cfg.AutoReduceThreshold; t > 0 && st.HistoryLen() > t {
+			e.reduceLocked(name, g, st, 0)
+		}
+	}
+}
+
+// fanoutBatch delivers a batch's applied events to every local member as
+// one frame per member: members owed the whole run share a single pooled
+// frame encoded once, while a member that sent sender-exclusive events of
+// the run (almost always exactly the one ingesting session) gets its own
+// filtered frame — or nothing, when the filter empties. Caller holds e.mu
+// (read) and the group's mutex.
+func (e *Engine) fanoutBatch(name string, g *membership.Group, entries []batchEntry) {
+	full := make([]wire.Event, 0, len(entries))
+	var exclSenders []uint64
+	for i := range entries {
+		if !entries[i].applied {
+			continue
+		}
+		full = append(full, entries[i].ev)
+		if !entries[i].incl && !containsID(exclSenders, entries[i].ev.Sender) {
+			exclSenders = append(exclSenders, entries[i].ev.Sender)
+		}
+	}
+	if len(full) == 0 {
+		return
+	}
+	high := false
+	if e.cfg.PriorityOf != nil {
+		high = e.cfg.PriorityOf(name) == PriorityHigh
+	}
+	var shared *transport.SharedFrame
+	var scratch []wire.Event
+	for _, id := range g.MemberIDs() {
+		sess, ok := e.sessions[id]
+		if !ok {
+			continue // member lives on another server of the cluster
+		}
+		if containsID(exclSenders, id) {
+			// This member sent exclusive events of the run: encode its
+			// filtered view. The frame copies the events at construction,
+			// so the scratch slice is reusable.
+			scratch = scratch[:0]
+			for i := range entries {
+				if !entries[i].applied || (entries[i].ev.Sender == id && !entries[i].incl) {
+					continue
+				}
+				scratch = append(scratch, entries[i].ev)
+			}
+			if len(scratch) == 0 {
+				continue
+			}
+			e.hDeliveryBatch.Record(int64(len(scratch)))
+			sess.sendShared(transport.NewSharedFrame(deliverMsg(name, scratch)), high)
+			e.mDelivered.Add(uint64(len(scratch)))
+			continue
+		}
+		if shared == nil {
+			e.hDeliveryBatch.Record(int64(len(full)))
+			shared = transport.NewSharedFrame(deliverMsg(name, full))
+		}
+		shared.Retain()
+		sess.sendShared(shared, high)
+		e.mDelivered.Add(uint64(len(full)))
+	}
+	if shared != nil {
+		shared.Release()
+	}
+}
+
+// deliverMsg picks the wire shape for a delivery run: a batch of one stays
+// a plain Deliver, so unbatched receivers and metrics see no change.
+func deliverMsg(group string, evs []wire.Event) wire.Message {
+	if len(evs) == 1 {
+		return &wire.Deliver{Group: group, Event: evs[0]}
+	}
+	return &wire.DeliverBatch{Group: group, Events: evs}
+}
+
+func containsID(ids []uint64, id uint64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// DistEvent is one coordinator-sequenced event of a distribute batch.
+type DistEvent struct {
+	Event           wire.Event
+	SenderInclusive bool
+	// ReqID is the local sender's pending request, zero when the sender
+	// is remote (or used BcastUpdateNoWait).
+	ReqID uint64
+}
+
+// ApplyDistributeBatch is ApplyDistribute over a run of coordinator-
+// sequenced same-group events under one engine-RLock + group-mutex
+// acquisition — the replicated half of ingest batching. Duplicates below
+// the replica's high-water mark are acknowledged and skipped; the first
+// sequence gap stops consumption and returns ErrSeqGap along with the
+// number of items consumed, leaving the remainder to the caller's
+// catch-up path.
+func (e *Engine) ApplyDistributeBatch(group string, items []DistEvent) (int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	g, ok := e.reg.Get(group)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
+	}
+	gmu := e.groupMus[group]
+	gmu.Lock()
+	defer gmu.Unlock()
+	st := e.getState(group)
+	entries := make([]batchEntry, 0, len(items))
+	consumed := 0
+	var expected uint64
+	if st != nil {
+		expected = st.NextSeq()
+	}
+	for _, it := range items {
+		if st != nil {
+			if it.Event.Seq < expected {
+				e.ackDistributedLocked(it.Event, it.ReqID)
+				consumed++
+				continue
+			}
+			if it.Event.Seq > expected {
+				break
+			}
+			expected++
+		}
+		e.seqr.Observe(group, it.Event.Seq)
+		entries = append(entries, batchEntry{ev: it.Event, incl: it.SenderInclusive, reqID: it.ReqID})
+		consumed++
+	}
+	if len(entries) > 0 {
+		e.hIngestBatch.Record(int64(len(entries)))
+		e.applyAndFanoutBatch(group, g, entries)
+		for i := range entries {
+			e.ackDistributedLocked(entries[i].ev, entries[i].reqID)
+		}
+	}
+	if consumed < len(items) {
+		return consumed, fmt.Errorf("%w: got %d, want %d", ErrSeqGap, items[consumed].Event.Seq, expected)
+	}
+	return consumed, nil
+}

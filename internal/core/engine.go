@@ -189,6 +189,8 @@ type Engine struct {
 	hJoin             *obs.Histogram
 	hJoinLockHold     *obs.Histogram
 	hLockWait         *obs.Histogram
+	hIngestBatch      *obs.Histogram
+	hDeliveryBatch    *obs.Histogram
 }
 
 // Stats is a snapshot of engine counters.
@@ -251,6 +253,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		hJoin:             metrics.Histogram("engine.join_ns"),
 		hJoinLockHold:     metrics.Histogram("engine.join_lock_hold_ns"),
 		hLockWait:         metrics.Histogram("engine.bcast_lock_wait_ns"),
+		hIngestBatch:      metrics.Histogram("engine.ingest_batch_size"),
+		hDeliveryBatch:    metrics.Histogram("engine.delivery_batch_size"),
 	}
 	if cfg.Dir != "" && !cfg.Stateless {
 		l, err := wal.Open(wal.Options{

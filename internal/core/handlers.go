@@ -412,6 +412,7 @@ func (e *Engine) handleBcast(s *Session, m *wire.Bcast) {
 	waitStart := time.Now()
 	gmu.Lock()
 	e.hLockWait.Record(time.Since(waitStart).Nanoseconds())
+	e.hIngestBatch.Record(1)
 	ev.Seq, ev.Time = e.seqr.Next(m.Group)
 	ackDeferred := e.applyAndFanout(m.Group, g, ev, m.SenderInclusive, func() {
 		s.send(&wire.BcastAck{RequestID: m.RequestID, Seq: ev.Seq})
@@ -472,6 +473,7 @@ func (e *Engine) applyAndFanout(name string, g *membership.Group, ev wire.Event,
 		e.mDelivered.Inc()
 	}
 	if frame != nil {
+		e.hDeliveryBatch.Record(1)
 		frame.Release()
 	}
 

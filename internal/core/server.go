@@ -167,17 +167,46 @@ func Handshake(e *Engine, conn *transport.Conn) (*Session, error) {
 // ServeSession runs the request loop for a registered session until the
 // connection drops, then tears the session down. Shared with the
 // replicated frontend.
+//
+// After every blocking read the loop greedily drains whatever frames the
+// connection has already buffered (never touching the socket, so an idle
+// client keeps the single-message latency), collecting consecutive Bcasts
+// into a run that dispatchBcasts hands to the engine as same-group batches.
+// Any non-Bcast flushes the run first, preserving the exact arrival order.
 func ServeSession(e *Engine, sess *Session, conn *transport.Conn) {
 	crashed := true
+	var pending []*wire.Bcast
+loop:
 	for {
 		msg, err := conn.ReadMessage()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				crashed = false // orderly close
+		for {
+			if err != nil {
+				e.dispatchBcasts(sess, pending)
+				if errors.Is(err, io.EOF) {
+					crashed = false // orderly close
+				}
+				break loop
 			}
-			break
+			if msg == nil {
+				// Nothing more buffered: flush and go back to the
+				// blocking read.
+				e.dispatchBcasts(sess, pending)
+				pending = pending[:0]
+				break
+			}
+			if b, ok := msg.(*wire.Bcast); ok {
+				pending = append(pending, b)
+				if len(pending) >= maxIngestBatch {
+					e.dispatchBcasts(sess, pending)
+					pending = pending[:0]
+				}
+			} else {
+				e.dispatchBcasts(sess, pending)
+				pending = pending[:0]
+				e.HandleMessage(sess, msg)
+			}
+			msg, err = conn.ReadMessageBuffered()
 		}
-		e.HandleMessage(sess, msg)
 	}
 	e.DropSession(sess, crashed)
 }

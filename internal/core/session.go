@@ -23,6 +23,12 @@ type Session struct {
 	conn   *transport.Conn
 	pump   *transport.Pump
 
+	// Ingest-batching scratch, owned by the session's read goroutine:
+	// reused across bcastBatch calls so steady-state batching allocates
+	// no per-batch bookkeeping.
+	batchEntries []batchEntry
+	ackFrames    []*transport.SharedFrame
+
 	closeOnce sync.Once
 }
 
@@ -199,6 +205,25 @@ func (s *Session) send(msg wire.Message) { s.Send(msg) }
 func (s *Session) sendShared(f *transport.SharedFrame, high bool) {
 	if err := s.pump.SendShared(f, high); err != nil {
 		f.Release()
+		if errors.Is(err, transport.ErrPumpClosed) {
+			return
+		}
+		go s.engine.failSession(s, err)
+	}
+}
+
+// sendSharedBatch enqueues a run of pooled frames with one pump mutex
+// acquisition, consuming one reference per frame even on failure. Same
+// failure semantics as sendShared: a closed pump is a quiet no-op, any
+// other error fails the session off this goroutine.
+func (s *Session) sendSharedBatch(fs []*transport.SharedFrame, high bool) {
+	if len(fs) == 0 {
+		return
+	}
+	if err := s.pump.SendSharedBatch(fs, high); err != nil {
+		for _, f := range fs {
+			f.Release()
+		}
 		if errors.Is(err, transport.ErrPumpClosed) {
 			return
 		}

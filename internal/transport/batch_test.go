@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"corona/internal/wire"
+)
+
+func TestSendSharedBatchInOrder(t *testing.T) {
+	client, server := tcpPair(t)
+	pump := NewPump(client, 64)
+	defer pump.Close()
+
+	const n = 48
+	fs := make([]*SharedFrame, 0, n)
+	for i := 0; i < n; i++ {
+		fs = append(fs, NewSharedFrame(&wire.Ping{Nonce: uint64(i)}))
+	}
+	if err := pump.SendSharedBatch(fs, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := server.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if p := got.(*wire.Ping); p.Nonce != uint64(i) {
+			t.Fatalf("out of order: got %d, want %d", p.Nonce, i)
+		}
+	}
+}
+
+func TestSendSharedBatchAllOrNothing(t *testing.T) {
+	client, server := tcpPair(t)
+	pump := NewPump(client, 4)
+	defer pump.Close()
+
+	// A batch larger than the whole queue can never fit: it must fail
+	// without enqueuing ANY of its frames.
+	big := make([]*SharedFrame, 8)
+	for i := range big {
+		big[i] = NewSharedFrame(&wire.Ping{Nonce: uint64(100 + i)})
+	}
+	if err := pump.SendSharedBatch(big, false); !errors.Is(err, ErrPumpOverflow) {
+		t.Fatalf("oversized batch: got %v, want ErrPumpOverflow", err)
+	}
+	for _, f := range big {
+		f.Release() // rejected batch stays owned by the caller
+	}
+
+	// The failed batch must not have consumed slots or emitted frames: a
+	// small batch still fits and only its nonces appear on the wire.
+	small := []*SharedFrame{
+		NewSharedFrame(&wire.Ping{Nonce: 0}),
+		NewSharedFrame(&wire.Ping{Nonce: 1}),
+		NewSharedFrame(&wire.Ping{Nonce: 2}),
+	}
+	if err := pump.SendSharedBatch(small, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(small); i++ {
+		got, err := server.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := got.(*wire.Ping)
+		if p.Nonce != uint64(i) {
+			t.Fatalf("got nonce %d, want %d (leak from rejected batch?)", p.Nonce, i)
+		}
+	}
+}
+
+func TestSendSharedBatchAfterClose(t *testing.T) {
+	client, _ := tcpPair(t)
+	pump := NewPump(client, 4)
+	pump.Close()
+
+	fs := []*SharedFrame{
+		NewSharedFrame(&wire.Ping{Nonce: 1}),
+		NewSharedFrame(&wire.Ping{Nonce: 2}),
+	}
+	if err := pump.SendSharedBatch(fs, false); !errors.Is(err, ErrPumpClosed) {
+		t.Fatalf("got %v, want ErrPumpClosed", err)
+	}
+	for _, f := range fs {
+		f.Release()
+	}
+}
+
+func TestSendMessagePooledPath(t *testing.T) {
+	client, server := tcpPair(t)
+	pump := NewPump(client, 16)
+	defer pump.Close()
+
+	if err := pump.SendMessage(&wire.Pong{Nonce: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := got.(*wire.Pong); !ok || p.Nonce != 7 {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestReadMessageBufferedIdle(t *testing.T) {
+	_, server := tcpPair(t)
+	start := time.Now()
+	msg, err := server.ReadMessageBuffered()
+	if msg != nil || err != nil {
+		t.Fatalf("idle connection: got (%v, %v), want (nil, nil)", msg, err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("idle probe took %v; it must not touch the socket", d)
+	}
+}
+
+func TestReadMessageBufferedDrainsBurst(t *testing.T) {
+	client, server := pipePair(t)
+
+	// One pipe write carrying ten frames: after the first blocking read
+	// pulls it into the buffer, the other nine must drain without blocking.
+	const n = 10
+	var burst []byte
+	for i := 0; i < n; i++ {
+		burst = EncodeFrame(burst, &wire.Ping{Nonce: uint64(i)})
+	}
+	go func() { _ = client.WriteFrame(burst) }()
+
+	got, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.(*wire.Ping); p.Nonce != 0 {
+		t.Fatalf("first frame nonce %d", p.Nonce)
+	}
+	for i := 1; i < n; i++ {
+		msg, err := server.ReadMessageBuffered()
+		if err != nil {
+			t.Fatalf("buffered read %d: %v", i, err)
+		}
+		if msg == nil {
+			t.Fatalf("frame %d was buffered but not drained", i)
+		}
+		if p := msg.(*wire.Ping); p.Nonce != uint64(i) {
+			t.Fatalf("out of order: got %d, want %d", p.Nonce, i)
+		}
+	}
+	if msg, err := server.ReadMessageBuffered(); msg != nil || err != nil {
+		t.Fatalf("drained connection: got (%v, %v), want (nil, nil)", msg, err)
+	}
+}
+
+func TestReadMessageBufferedLargeFrameFallsBack(t *testing.T) {
+	client, server := pipePair(t)
+
+	// A frame bigger than the 64 KiB read buffer can never be fully
+	// buffered: the greedy drain must leave it for the blocking read.
+	jumbo := make([]byte, 128<<10)
+	var burst []byte
+	burst = EncodeFrame(burst, &wire.Ping{Nonce: 1})
+	burst = EncodeFrame(burst, &wire.Bcast{Group: "g", EvKind: wire.EventState, ObjectID: "big", Data: jumbo})
+	go func() { _ = client.WriteFrame(burst) }()
+
+	if _, err := server.ReadMessage(); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := server.ReadMessageBuffered(); msg != nil || err != nil {
+		t.Fatalf("partial jumbo frame: got (%v, %v), want (nil, nil)", msg, err)
+	}
+	got, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := got.(*wire.Bcast); !ok || len(b.Data) != len(jumbo) {
+		t.Fatalf("jumbo fallback: got %T", got)
+	}
+}
+
+func TestReadMessageBufferedOversizedHeader(t *testing.T) {
+	client, server := pipePair(t)
+	var burst []byte
+	burst = EncodeFrame(burst, &wire.Ping{Nonce: 1})
+	burst = append(burst, 0xFF, 0xFF, 0xFF, 0xFF) // absurd length header
+	go func() { _ = client.WriteFrame(burst) }()
+
+	if _, err := server.ReadMessage(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.ReadMessageBuffered(); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("got %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestReadBufferShrinksAfterJumboFrame(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	client, server := NewConn(a), NewConn(b)
+
+	// A jumbo frame grows the reusable read buffer past the retention
+	// bound; the next ordinary frame must drop it rather than pin the
+	// memory on the connection forever.
+	jumbo := make([]byte, maxPooledFrame+64<<10)
+	go func() {
+		_ = client.WriteMessage(&wire.Bcast{Group: "g", EvKind: wire.EventState, ObjectID: "big", Data: jumbo})
+	}()
+	if _, err := server.ReadMessage(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(server.rbuf) <= maxPooledFrame {
+		t.Fatalf("jumbo read kept rbuf at %d, expected > %d", cap(server.rbuf), maxPooledFrame)
+	}
+
+	go func() { _ = client.WriteMessage(&wire.Ping{Nonce: 1}) }()
+	if _, err := server.ReadMessage(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(server.rbuf) > maxPooledFrame {
+		t.Fatalf("rbuf still %d bytes after small frame, want <= %d", cap(server.rbuf), maxPooledFrame)
+	}
+}

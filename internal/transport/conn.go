@@ -83,6 +83,40 @@ func (c *Conn) ReadMessage() (wire.Message, error) {
 	return msg, nil
 }
 
+// ReadMessageBuffered decodes the next message only when a complete frame
+// is already sitting in the connection's read buffer; otherwise it returns
+// (nil, nil) immediately, without touching the socket. Callers use it to
+// greedily drain a burst after a blocking ReadMessage — an idle connection
+// costs nothing and never waits. A frame larger than the buffer (bulk
+// transfers) also reports not-buffered and is left for the next blocking
+// read.
+func (c *Conn) ReadMessageBuffered() (wire.Message, error) {
+	if c.br.Buffered() < 4 {
+		return nil, nil
+	}
+	hdr, err := c.br.Peek(4)
+	if err != nil {
+		return nil, nil // surfaces on the next blocking read
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > wire.MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if c.br.Buffered() < 4+int(n) {
+		return nil, nil
+	}
+	if _, err := c.br.Discard(4); err != nil {
+		return nil, err
+	}
+	buf := c.frameBuf(n)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, fmt.Errorf("transport: short frame: %w", err)
+	}
+	bytesIn.Add(uint64(4 + n))
+	readCoalesced.Inc()
+	return wire.Unmarshal(buf)
+}
+
 // readFrame returns the next frame payload. The slice is valid until the
 // next call.
 func (c *Conn) readFrame() ([]byte, error) {
@@ -97,15 +131,29 @@ func (c *Conn) readFrame() ([]byte, error) {
 	if n > wire.MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
 	}
-	if cap(c.rbuf) < int(n) {
-		c.rbuf = make([]byte, n)
-	}
-	buf := c.rbuf[:n]
+	buf := c.frameBuf(n)
 	if _, err := io.ReadFull(c.br, buf); err != nil {
 		return nil, fmt.Errorf("transport: short frame: %w", err)
 	}
 	bytesIn.Add(uint64(4 + n))
 	return buf, nil
+}
+
+// frameBuf returns the reusable read buffer sized to n. A jumbo frame (up
+// to wire.MaxFrame) would otherwise pin its memory on the connection for
+// the rest of its life, so the buffer is dropped before reuse once the
+// demand falls back under the frame pool's retention bound — the same
+// policy SharedFrame applies on the write side. The previous call's slice
+// is dead by contract (valid only until the next read), so replacing the
+// backing array here is safe.
+func (c *Conn) frameBuf(n uint32) []byte {
+	if cap(c.rbuf) > maxPooledFrame && int(n) <= maxPooledFrame {
+		c.rbuf = nil
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	return c.rbuf[:n]
 }
 
 // WriteMessage encodes and writes one message, flushing immediately.

@@ -20,4 +20,9 @@ var (
 	// length prefix) crossing every Conn in the process.
 	bytesIn  = obs.Default.Counter("transport.bytes_in")
 	bytesOut = obs.Default.Counter("transport.bytes_out")
+	// readCoalesced counts frames consumed by ReadMessageBuffered — i.e.
+	// frames that rode an already-buffered burst instead of paying a
+	// blocking socket read. The ratio to total frames shows how often the
+	// ingest batcher actually amortizes.
+	readCoalesced = obs.Default.Counter("transport.read_coalesced_frames")
 )

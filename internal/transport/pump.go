@@ -123,10 +123,56 @@ func (p *Pump) enqueue(it pumpItem, high bool) error {
 	}
 }
 
-// SendMessage marshals msg into a fresh frame and enqueues it. Use Send
-// with a shared frame when writing the same message to many pumps.
+// SendSharedBatch enqueues a run of pooled frames on one lane under a
+// single mutex acquisition, preserving order. Admission is all-or-nothing:
+// when the lane cannot take every frame nothing is enqueued and the call
+// returns ErrPumpOverflow, so a batch is never torn. On success the pump
+// owns one reference per frame; on error the caller keeps its references
+// and must release them.
+func (p *Pump) SendSharedBatch(fs []*SharedFrame, high bool) error {
+	if len(fs) == 0 {
+		return nil
+	}
+	if len(fs) == 1 {
+		return p.SendShared(fs[0], high)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		if p.err != nil {
+			return p.err
+		}
+		return ErrPumpClosed
+	}
+	ch := p.ch
+	if high {
+		ch = p.hi
+	}
+	// Only the writer removes from the channel, so a free-slot count taken
+	// under the mutex can only grow before the sends below; none of them
+	// can block.
+	if cap(ch)-len(ch) < len(fs) {
+		pumpStalls.Inc()
+		return ErrPumpOverflow
+	}
+	for _, f := range fs {
+		ch <- pumpItem{shared: f}
+	}
+	pumpEnqueued.Add(uint64(len(fs)))
+	pumpDepth.Add(int64(len(fs)))
+	return nil
+}
+
+// SendMessage marshals msg into a pooled frame and enqueues it on the
+// normal lane. Use SendShared directly when writing the same message to
+// many pumps.
 func (p *Pump) SendMessage(msg wire.Message) error {
-	return p.Send(EncodeFrame(nil, msg))
+	f := NewSharedFrame(msg)
+	if err := p.SendShared(f, false); err != nil {
+		f.Release()
+		return err
+	}
+	return nil
 }
 
 // Err returns the write error that stopped the pump, if any.

@@ -509,6 +509,32 @@ func (m *Deliver) Decode(d *Decoder) error {
 	return d.Err()
 }
 
+// DeliverBatch pushes a run of sequenced group events to a member in one
+// frame. The events are in sequence order and carry the same guarantees as
+// an equivalent run of Deliver frames — the batch is purely an ingest/fanout
+// amortization, invisible to the ordering contract. A batch is never empty
+// on the wire; decoding an empty one yields a nil Events slice.
+type DeliverBatch struct {
+	Group  string
+	Events []Event
+}
+
+// Kind implements Message.
+func (*DeliverBatch) Kind() Kind { return KindDeliverBatch }
+
+// Encode implements Message.
+func (m *DeliverBatch) Encode(e *Encoder) {
+	e.PutString(m.Group)
+	encodeEvents(e, m.Events)
+}
+
+// Decode implements Message.
+func (m *DeliverBatch) Decode(d *Decoder) error {
+	m.Group = d.String()
+	m.Events = decodeEvents(d)
+	return d.Err()
+}
+
 // LockAcquire requests a named lock within a group (paper §3.2: interfaces
 // for synchronizing client updates through locks).
 type LockAcquire struct {

@@ -39,6 +39,7 @@ const (
 	KindError
 	KindTransferChunk
 	KindTransferDone
+	KindDeliverBatch
 )
 
 // Server↔server message kinds.
@@ -99,6 +100,7 @@ var kindNames = map[Kind]string{
 	KindError:            "Error",
 	KindTransferChunk:    "TransferChunk",
 	KindTransferDone:     "TransferDone",
+	KindDeliverBatch:     "DeliverBatch",
 	KindSHello:           "SHello",
 	KindSHelloAck:        "SHelloAck",
 	KindSForward:         "SForward",
@@ -174,6 +176,7 @@ var factories = map[Kind]func() Message{
 	KindError:            func() Message { return new(ErrorMsg) },
 	KindTransferChunk:    func() Message { return new(TransferChunk) },
 	KindTransferDone:     func() Message { return new(TransferDone) },
+	KindDeliverBatch:     func() Message { return new(DeliverBatch) },
 	KindSHello:           func() Message { return new(SHello) },
 	KindSHelloAck:        func() Message { return new(SHelloAck) },
 	KindSForward:         func() Message { return new(SForward) },

@@ -38,12 +38,17 @@ echo "== go test -race -short"
 go test -race -short ./...
 
 echo "== fuzz smoke (3s per wire decode target)"
-for target in FuzzTransferPayload FuzzTransferChunk FuzzTransferStream; do
+for target in FuzzTransferPayload FuzzTransferChunk FuzzTransferStream FuzzDeliverBatch; do
 	go test -run '^$' -fuzz "^${target}\$" -fuzztime 3s ./internal/wire >/dev/null
 done
 
 echo "== bench smoke (compile + one iteration)"
 go test -run NONE -bench . -benchtime 1x ./... >/dev/null
+
+echo "== batch ingest smoke"
+# Short table1 blast: pipelined clients drive the greedy drain, BcastBatch,
+# and the pooled DeliverBatch fanout end to end on every gate run.
+go run ./cmd/corona-bench -experiment table1 -duration 200ms >/dev/null
 
 echo "== multigroup smoke"
 go run ./cmd/corona-bench -experiment multigroup -groups 1,2 -per-group 1 -duration 200ms >/dev/null
