@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	corona-bench -experiment fig3|sizesweep|table1|table2|multigroup|jointransfer|logreduction|relaxed|qos|placement|all [flags]
+//	corona-bench -experiment fig3|sizesweep|table1|table2|multigroup|fanout|jointransfer|logreduction|relaxed|qos|placement|all [flags]
 //
 // The defaults are scaled for a laptop-class machine; -full restores the
 // paper-scale parameters (600 messages per point, client counts up to 300).
@@ -39,7 +39,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("corona-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | multigroup | jointransfer | logreduction | relaxed | qos | placement | all")
+		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | multigroup | fanout | jointransfer | logreduction | relaxed | qos | placement | all")
 		full       = fs.Bool("full", false, "paper-scale parameters (slow: hundreds of clients, 600 messages per point)")
 		messages   = fs.Int("messages", 0, "timed messages per point (0 = experiment default)")
 		msgSize    = fs.Int("size", 1000, "multicast payload bytes for latency experiments")
@@ -54,6 +54,7 @@ func run(args []string) error {
 		jtJoins    = fs.Int("jt-joins", 0, "join/leave cycles per jointransfer stall point (0 = default 5)")
 		plStateMiB = fs.Int("pl-state", 0, "group state size in MiB for the placement migration (0 = default 8)")
 		plGroups   = fs.Int("pl-groups", 0, "groups for the placement convergence experiment (0 = default 8)")
+		foMembers  = fs.String("fanout-members", "", "comma-separated group sizes for the fanout sweep (default 8,64,256,1024)")
 	)
 	var jsonOut jsonDir
 	fs.Var(&jsonOut, "json", "also write BENCH_<experiment>.json (bare: current directory; -json=dir: that directory)")
@@ -163,6 +164,34 @@ func run(args []string) error {
 				"msg_size": *msgSize, "duration_ns": *duration, "gomaxprocs": runtime.GOMAXPROCS(0),
 			}
 			result = points
+		case "fanout":
+			mm, err := parseCounts(*foMembers)
+			if err != nil {
+				return err
+			}
+			cfg := bench.FanoutConfig{
+				Members: mm, MsgSize: *msgSize, Duration: *duration,
+			}
+			points, err := bench.RunFanout(cfg)
+			if err != nil {
+				return err
+			}
+			if cfg.Members == nil {
+				cfg.Members = []int{8, 64, 256, 1024}
+			}
+			if cfg.MsgSize <= 0 {
+				cfg.MsgSize = 1000
+			}
+			if cfg.Pipeline <= 0 {
+				cfg.Pipeline = 8
+			}
+			bench.PrintFanout(os.Stdout, points, cfg)
+			params = map[string]any{
+				"members": cfg.Members, "msg_size": cfg.MsgSize,
+				"duration_ns": *duration, "pipeline": cfg.Pipeline,
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+			}
+			result = points
 		case "jointransfer":
 			cfg := bench.JoinTransferConfig{History: 2000, UpdateSize: 500, Objects: 8, LastN: 20, Joins: 30}
 			rows, err := bench.RunJoinTransfer(cfg)
@@ -234,7 +263,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "multigroup", "jointransfer", "logreduction", "relaxed", "qos", "placement"} {
+		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "multigroup", "fanout", "jointransfer", "logreduction", "relaxed", "qos", "placement"} {
 			if i > 0 {
 				fmt.Println()
 			}

@@ -55,6 +55,7 @@ func run(args []string) error {
 		syncMode    = fs.String("sync", "interval", "log durability: never | interval | always")
 		stateless   = fs.Bool("stateless", false, "run the sequencer-only baseline (no state, no log)")
 		autoReduce  = fs.Int("auto-reduce", 8192, "state-log reduction threshold in events (0: disabled)")
+		fanout      = fs.Int("fanout-shards", 0, "fanout worker shards for off-lock delivery (0: GOMAXPROCS-derived, negative: inline fanout under the group lock)")
 		debugAddr   = fs.String("debug-addr", "", "HTTP debug listen address serving /metrics, /healthz, /trace, /debug/pprof/ (empty: disabled)")
 		contention  = fs.Bool("contention-profile", false, "record mutex and blocking profiles, served at /debug/pprof/mutex and /debug/pprof/block (adds sampling overhead)")
 		replicas    = fs.Int("replicas", 0, "replication floor the placement manager maintains per group (replicated roles; 0: default 2)")
@@ -111,7 +112,8 @@ func run(args []string) error {
 			Engine: core.EngineConfig{
 				Dir: *dir, Sync: sync, Stateless: *stateless,
 				AutoReduceThreshold: *autoReduce, Logger: logger,
-				Metrics: obs.Default,
+				FanoutShards: *fanout,
+				Metrics:      obs.Default,
 			},
 		})
 		if err != nil {
@@ -154,6 +156,7 @@ func run(args []string) error {
 			Engine: core.EngineConfig{
 				Dir: *dir, Sync: sync,
 				AutoReduceThreshold: *autoReduce,
+				FanoutShards:        *fanout,
 				Metrics:             obs.Default,
 			},
 			Placement: cluster.PlacementConfig{

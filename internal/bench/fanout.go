@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/core"
+	"corona/internal/obs"
+)
+
+// FanoutConfig parameterizes the wide-group fanout sweep: one sender
+// blasting into a single group whose membership grows 8 → 1024, measured
+// once with the off-lock sharded pipeline and once with the inline
+// fanout-under-lock baseline (FanoutShards < 0). The experiment isolates
+// what the sharded pipeline buys: the group critical section should stay
+// flat as the receiver set grows, because delivery moved off-lock; the
+// inline baseline's lock hold grows linearly with members by construction.
+type FanoutConfig struct {
+	// Members are the group sizes to measure (default 8, 64, 256, 1024).
+	// One member is the blasting sender (excluded from delivery); the
+	// rest are receivers.
+	Members []int
+	// MsgSize is the multicast payload size (default 1000).
+	MsgSize int
+	// Duration is the blast length per point.
+	Duration time.Duration
+	// Pipeline is the number of in-flight multicasts from the sender.
+	Pipeline int
+	// PumpDepth overrides the per-receiver outbound queue depth (default
+	// 8192: wide fanout into a single-core receiver pool needs headroom,
+	// and a kicked slow receiver would distort the delivered rate).
+	PumpDepth int
+}
+
+// FanoutPoint is one (members, mode) measurement.
+type FanoutPoint struct {
+	// Members is the group size (sender included).
+	Members int
+	// Mode is "sharded" (off-lock pipeline, default shard width) or
+	// "inline" (fanout under the group lock, FanoutShards = -1).
+	Mode string
+	// MsgsPerSec is the sequencing rate at the sender.
+	MsgsPerSec float64
+	// DeliveredKBps is the aggregate delivery rate across all receivers.
+	DeliveredKBps float64
+	// LockHoldP50Ns / LockHoldP99Ns summarize engine.bcast_lock_hold_ns:
+	// time inside the group critical section per multicast.
+	LockHoldP50Ns int64
+	LockHoldP99Ns int64
+	// LockWaitP99Ns summarizes engine.bcast_lock_wait_ns: time spent
+	// queued for the group lock.
+	LockWaitP99Ns int64
+	// OfflockP99Ns summarizes engine.fanout_offlock_ns: ring-push to
+	// last-shard-drained latency (sharded mode only).
+	OfflockP99Ns int64
+	// RingWaits counts backpressure stalls on a full fanout ring.
+	RingWaits uint64
+	// AvgShardBatch is the mean entries drained per shard wakeup.
+	AvgShardBatch float64
+	// DeliveredSpeedup is this point's DeliveredKBps over the inline
+	// baseline at the same member count (1.0 for inline rows).
+	DeliveredSpeedup float64
+}
+
+// RunFanout measures the sweep, a fresh server per (members, mode) point
+// so one point's queue residue cannot bleed into the next.
+func RunFanout(cfg FanoutConfig) ([]FanoutPoint, error) {
+	if len(cfg.Members) == 0 {
+		cfg.Members = []int{8, 64, 256, 1024}
+	}
+	if cfg.MsgSize <= 0 {
+		cfg.MsgSize = 1000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 8
+	}
+	if cfg.PumpDepth <= 0 {
+		cfg.PumpDepth = 8192
+	}
+	var out []FanoutPoint
+	for _, members := range cfg.Members {
+		inline, err := runFanoutPoint(cfg, members, -1)
+		if err != nil {
+			return out, fmt.Errorf("members=%d inline: %w", members, err)
+		}
+		inline.DeliveredSpeedup = 1
+		sharded, err := runFanoutPoint(cfg, members, 0)
+		if err != nil {
+			return out, fmt.Errorf("members=%d sharded: %w", members, err)
+		}
+		if inline.DeliveredKBps > 0 {
+			sharded.DeliveredSpeedup = sharded.DeliveredKBps / inline.DeliveredKBps
+		}
+		out = append(out, inline, sharded)
+	}
+	return out, nil
+}
+
+func runFanoutPoint(cfg FanoutConfig, members, shards int) (FanoutPoint, error) {
+	mode := "sharded"
+	if shards < 0 {
+		mode = "inline"
+	}
+	srv, err := core.NewServer(core.Config{Engine: core.EngineConfig{
+		Logger:              quietLogger(),
+		FanoutShards:        shards,
+		PumpDepth:           cfg.PumpDepth,
+		AutoReduceThreshold: 4096,
+	}})
+	if err != nil {
+		return FanoutPoint{}, err
+	}
+	defer srv.Close()
+	srv.Start()
+	addr := srv.Addr().String()
+
+	var mu sync.Mutex
+	var clients []*client.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	sender, err := client.Dial(client.Config{Addr: addr, Name: "fo-sender"})
+	if err != nil {
+		return FanoutPoint{}, err
+	}
+	clients = append(clients, sender)
+	if err := sender.CreateGroup("wide", true, nil); err != nil {
+		return FanoutPoint{}, err
+	}
+	if _, err := sender.Join("wide", client.JoinOptions{}); err != nil {
+		return FanoutPoint{}, err
+	}
+
+	// Dial and join the receiver set with bounded concurrency: at 1024
+	// members a serial join loop costs more wall clock than the blast.
+	receivers := members - 1
+	sem := make(chan struct{}, 32)
+	errCh := make(chan error, receivers)
+	var jwg sync.WaitGroup
+	for i := 0; i < receivers; i++ {
+		jwg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer jwg.Done()
+			defer func() { <-sem }()
+			c, err := client.Dial(client.Config{Addr: addr, Name: fmt.Sprintf("fo-recv-%d", i)})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			mu.Lock()
+			clients = append(clients, c)
+			mu.Unlock()
+			if _, err := c.Join("wide", client.JoinOptions{}); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	jwg.Wait()
+	select {
+	case err := <-errCh:
+		return FanoutPoint{}, err
+	default:
+	}
+
+	payload := make([]byte, cfg.MsgSize)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	before := srv.Engine().Stats()
+	start := time.Now()
+	for p := 0; p < cfg.Pipeline; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sender.BcastState("wide", "o", payload, false); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := srv.Engine().Stats()
+	metrics := srv.Engine().Metrics().Snapshot()
+
+	msgs := after.Bcasts - before.Bcasts
+	delivered := after.Delivered - before.Delivered
+	secs := elapsed.Seconds()
+	pt := FanoutPoint{
+		Members:       members,
+		Mode:          mode,
+		MsgsPerSec:    float64(msgs) / secs,
+		DeliveredKBps: float64(delivered) * float64(cfg.MsgSize) / 1024 / secs,
+		RingWaits:     metrics.Counters["engine.fanout_backpressure_waits"],
+	}
+	// Fresh server per point: the cumulative histograms hold only this
+	// blast, so the snapshot quantiles need no delta.
+	pt.LockHoldP50Ns = metrics.Histograms["engine.bcast_lock_hold_ns"].P50
+	pt.LockHoldP99Ns = metrics.Histograms["engine.bcast_lock_hold_ns"].P99
+	pt.LockWaitP99Ns = metrics.Histograms["engine.bcast_lock_wait_ns"].P99
+	pt.OfflockP99Ns = metrics.Histograms["engine.fanout_offlock_ns"].P99
+	pt.AvgShardBatch = histMeanDelta(obs.HistogramSnapshot{}, metrics.Histograms["engine.fanout_shard_batch"])
+	return pt, nil
+}
+
+// PrintFanout renders the wide-group sweep table, inline and sharded rows
+// interleaved per member count so the lock-hold contrast reads directly.
+func PrintFanout(w io.Writer, points []FanoutPoint, cfg FanoutConfig) {
+	fmt.Fprintf(w, "Wide-group fanout: 1 sender, %d B messages, pipeline %d, GOMAXPROCS=%d\n",
+		cfg.MsgSize, cfg.Pipeline, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-8s %-8s %-10s %-12s %-11s %-11s %-11s %-11s %-9s %-8s %-8s\n",
+		"members", "mode", "msgs/s", "delivKB/s", "hold p50", "hold p99", "wait p99", "offlck p99", "ringwait", "shbatch", "speedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8d %-8s %-10.0f %-12.0f %-11s %-11s %-11s %-11s %-9d %-8.1f %-8.2f\n",
+			p.Members, p.Mode, p.MsgsPerSec, p.DeliveredKBps,
+			nsCell(p.LockHoldP50Ns), nsCell(p.LockHoldP99Ns),
+			nsCell(p.LockWaitP99Ns), nsCell(p.OfflockP99Ns),
+			p.RingWaits, p.AvgShardBatch, p.DeliveredSpeedup)
+	}
+}
+
+// nsCell renders a nanosecond quantile compactly (µs above 10 µs).
+func nsCell(ns int64) string {
+	if ns >= 10_000 {
+		return fmt.Sprintf("%.0fus", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}

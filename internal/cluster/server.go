@@ -407,6 +407,14 @@ const maxDistributeBatch = 64
 // waiting — so a burst of same-group SDistributes is applied under one
 // lock acquisition with one fanout frame per member, mirroring the
 // client-facing ingest batcher.
+//
+// Replicated ingest rides the engine's delivery pipeline: ApplyDistribute
+// and ApplyDistributeBatch block here, off every engine lock, when the
+// target group's fanout ring is full. Stalling this read loop is the
+// intended backpressure propagation — the link's TCP window fills and the
+// coordinator's sends slow to the rate the local receivers can absorb,
+// instead of the server buffering sequenced-but-undeliverable events
+// without bound.
 func (s *Server) readLink(link *transport.Conn) {
 	var run []*wire.SDistribute
 	flush := func() {

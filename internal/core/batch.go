@@ -68,36 +68,83 @@ type batchEntry struct {
 	deferred bool
 }
 
-// bcastBatch sequences, applies, and fans out a run of same-group Bcasts
-// from one session under a single engine-RLock + group-mutex acquisition —
-// the ingest half of the batching pipeline. Validation runs once per batch
-// where the engine write lock already serializes changes (group existence,
-// membership, role) and per message where it cannot (event kind). The
-// immediate acks leave as one batched pump enqueue.
+// bcastBatch sequences, applies, and enqueues the fanout of a run of
+// same-group Bcasts from one session under a single engine-RLock +
+// group-mutex acquisition — the ingest half of the batching pipeline. The
+// whole batch costs one fanout-ring credit (it delivers as one pipeline
+// entry); a full ring is waited out off-lock, same as handleBcast.
+// Validation runs once per batch where the engine write lock already
+// serializes changes (group existence, membership, role) and per message
+// where it cannot (event kind). The immediate acks leave as one batched
+// pump enqueue.
 func (e *Engine) bcastBatch(s *Session, group string, msgs []*wire.Bcast) {
 	e.mu.RLock()
+	ring, done := e.bcastBatchLocked(s, group, msgs, nil)
+	e.mu.RUnlock()
+	for !done {
+		var credit *fanoutRing
+		switch e.waitFanoutSpace(ring) {
+		case waitGot:
+			credit = ring
+		case waitRetry:
+		case waitStopped:
+			for _, m := range msgs {
+				s.sendErr(m.RequestID, wire.CodeInternal, "server shutting down")
+			}
+			return
+		}
+		e.mu.RLock()
+		ring, done = e.bcastBatchLocked(s, group, msgs, credit)
+		e.mu.RUnlock()
+	}
+	e.flushBatchAcks(s)
+}
 
+// flushBatchAcks sends the immediate acks of the batch bcastBatchLocked just
+// sequenced (everything the WAL writer did not take over) as one batched
+// pump enqueue. Runs with no engine lock held — SendSharedBatch's admission
+// uses blocking-shaped sends. A validation failure leaves s.batchEntries
+// empty and this is a no-op.
+func (e *Engine) flushBatchAcks(s *Session) {
+	entries := s.batchEntries
+	acks := s.ackFrames[:0]
+	for i := range entries {
+		if entries[i].deferred {
+			continue
+		}
+		acks = append(acks, transport.NewSharedFrame(&wire.BcastAck{
+			RequestID: entries[i].reqID, Seq: entries[i].ev.Seq,
+		}))
+	}
+	s.sendSharedBatch(acks, false)
+	s.batchEntries = entries[:0]
+	s.ackFrames = acks[:0]
+}
+
+// bcastBatchLocked is one bcastBatch attempt under e.mu (read mode), with
+// the same credit-ownership contract as bcastLocked.
+func (e *Engine) bcastBatchLocked(s *Session, group string, msgs []*wire.Bcast, credit *fanoutRing) (*fanoutRing, bool) {
 	g, ok := e.reg.Get(group)
 	if !ok {
-		e.mu.RUnlock()
+		e.releaseCredit(credit)
 		for _, m := range msgs {
 			s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
 		}
-		return
+		return nil, true
 	}
 	if !g.Has(s.ID) {
-		e.mu.RUnlock()
+		e.releaseCredit(credit)
 		for _, m := range msgs {
 			s.sendErr(m.RequestID, wire.CodeNotMember, "only members may multicast")
 		}
-		return
+		return nil, true
 	}
 	if mi, ok := g.Member(s.ID); ok && mi.Role == wire.RoleObserver {
-		e.mu.RUnlock()
+		e.releaseCredit(credit)
 		for _, m := range msgs {
 			s.sendErr(m.RequestID, wire.CodeDenied, "observers may not modify shared state")
 		}
-		return
+		return nil, true
 	}
 	for _, m := range msgs {
 		if !m.EvKind.Valid() {
@@ -109,6 +156,7 @@ func (e *Engine) bcastBatch(s *Session, group string, msgs []*wire.Bcast) {
 		// Replicated service: the coordinator sequences. Forwarding the
 		// whole run under one read-lock hold amortizes the lock; each
 		// ack still arrives via ApplyDistribute.
+		e.releaseCredit(credit)
 		for _, m := range msgs {
 			if !m.EvKind.Valid() {
 				continue
@@ -118,16 +166,27 @@ func (e *Engine) bcastBatch(s *Session, group string, msgs []*wire.Bcast) {
 				s.sendErr(m.RequestID, wire.CodeInternal, err.Error())
 			}
 		}
-		e.mu.RUnlock()
-		return
+		return nil, true
+	}
+
+	grt := e.groups[group]
+	if e.fanout != nil {
+		if credit != grt.ring {
+			e.releaseCredit(credit)
+			if !grt.ring.tryAcquire() {
+				return grt.ring, false
+			}
+		}
+	} else {
+		e.releaseCredit(credit)
 	}
 
 	deferAcks := e.wal != nil && g.Persistent && e.cfg.Sync == wal.SyncAlways
 	entries := s.batchEntries[:0]
-	gmu := e.groupMus[group]
 	waitStart := time.Now()
-	gmu.Lock()
+	grt.mu.Lock()
 	e.hLockWait.Record(time.Since(waitStart).Nanoseconds())
+	holdStart := time.Now()
 	for _, m := range msgs {
 		if !m.EvKind.Valid() {
 			continue
@@ -145,35 +204,28 @@ func (e *Engine) bcastBatch(s *Session, group string, msgs []*wire.Bcast) {
 	}
 	if len(entries) > 0 {
 		e.hIngestBatch.Record(int64(len(entries)))
-		e.applyAndFanoutBatch(group, g, entries)
+		e.applyAndFanoutBatch(group, g, grt, entries)
+	} else if e.fanout != nil {
+		e.releaseCredit(grt.ring)
 	}
-	gmu.Unlock()
-	e.mu.RUnlock()
+	grt.mu.Unlock()
+	e.recordLockHold(time.Since(holdStart).Nanoseconds(), len(entries))
 
-	// Immediate acks (everything the WAL writer did not take over) leave
-	// as one batched enqueue: one pump mutex acquisition per batch.
-	acks := s.ackFrames[:0]
-	for i := range entries {
-		if entries[i].deferred {
-			continue
-		}
-		acks = append(acks, transport.NewSharedFrame(&wire.BcastAck{
-			RequestID: entries[i].reqID, Seq: entries[i].ev.Seq,
-		}))
-	}
-	s.sendSharedBatch(acks, false)
-	s.batchEntries = entries[:0]
-	s.ackFrames = acks[:0]
+	// The immediate acks are sent by flushBatchAcks after the caller drops
+	// the engine lock; hand the sequenced entries over via the scratch.
+	s.batchEntries = entries
+	return nil, true
 }
 
 // applyAndFanoutBatch is applyAndFanout over a run of sequenced same-group
-// events: each event folds into the group state, the applied ones fan out
-// as one pooled DeliverBatch frame per receiver, and each record enters the
-// WAL group-commit queue in sequence order. Apply failures mirror the
-// unbatched semantics — counted, traced, logged off-lock, acknowledged but
-// neither delivered nor persisted. Caller holds e.mu (read mode suffices)
-// and the group's mutex.
-func (e *Engine) applyAndFanoutBatch(name string, g *membership.Group, entries []batchEntry) {
+// events: each event folds into the group state, the applied ones leave as
+// one pipeline entry (or fan out inline), and each record enters the WAL
+// group-commit queue in sequence order. Apply failures mirror the unbatched
+// semantics — counted, traced, logged off-lock, acknowledged but neither
+// delivered nor persisted. Caller holds e.mu (read mode suffices) and the
+// group's mutex; in sharded mode the caller's one ring credit is owned from
+// here (fanoutBatch pushes it or releases it).
+func (e *Engine) applyAndFanoutBatch(name string, g *membership.Group, grt *groupRuntime, entries []batchEntry) {
 	start := time.Now()
 	defer func() { e.hFanout.Record(time.Since(start).Nanoseconds()) }()
 	e.mBcasts.Add(uint64(len(entries)))
@@ -187,11 +239,11 @@ func (e *Engine) applyAndFanoutBatch(name string, g *membership.Group, entries [
 			entries[i].applied = false
 			e.mApplyErrors.Inc()
 			e.metrics.Event("core", fmt.Sprintf("apply failed: group=%s seq=%d: %v", name, entries[i].ev.Seq, err))
-			go e.log.Error("apply failed", "group", name, "seq", entries[i].ev.Seq, "err", err)
+			e.reporter.report("apply failed", name, entries[i].ev.Seq, err)
 		}
 	}
 
-	e.fanoutBatch(name, g, entries)
+	e.fanoutBatch(name, grt, entries)
 
 	if st != nil {
 		for i := range entries {
@@ -206,13 +258,17 @@ func (e *Engine) applyAndFanoutBatch(name string, g *membership.Group, entries [
 	}
 }
 
-// fanoutBatch delivers a batch's applied events to every local member as
-// one frame per member: members owed the whole run share a single pooled
-// frame encoded once, while a member that sent sender-exclusive events of
-// the run (almost always exactly the one ingesting session) gets its own
-// filtered frame — or nothing, when the filter empties. Caller holds e.mu
-// (read) and the group's mutex.
-func (e *Engine) fanoutBatch(name string, g *membership.Group, entries []batchEntry) {
+// fanoutBatch routes a batch's applied events to every local member as one
+// frame per member: members owed the whole run share a single pooled frame
+// encoded once, while a member that sent sender-exclusive events of the run
+// (almost always exactly the one ingesting session) gets its own filtered
+// frame — or nothing, when the filter empties. Under the pipeline the batch
+// leaves as one entry carrying the shared frame plus the per-sender special
+// frames; all frames are encoded here, under the group mutex, because event
+// payloads alias connection read buffers (zero-copy ingest). Caller holds
+// e.mu (read) and the group's mutex, and owns one ring credit in sharded
+// mode.
+func (e *Engine) fanoutBatch(name string, grt *groupRuntime, entries []batchEntry) {
 	full := make([]wire.Event, 0, len(entries))
 	var exclSenders []uint64
 	for i := range entries {
@@ -224,49 +280,80 @@ func (e *Engine) fanoutBatch(name string, g *membership.Group, entries []batchEn
 			exclSenders = append(exclSenders, entries[i].ev.Sender)
 		}
 	}
-	if len(full) == 0 {
+	snap := grt.snap
+	if len(full) == 0 || snap.size == 0 {
+		if e.fanout != nil {
+			e.releaseCredit(grt.ring)
+		}
 		return
 	}
 	high := false
 	if e.cfg.PriorityOf != nil {
 		high = e.cfg.PriorityOf(name) == PriorityHigh
 	}
-	var shared *transport.SharedFrame
+
+	// buildSpecial encodes one excluded sender's filtered view of the run;
+	// the frame copies the events at construction, so scratch is reusable.
 	var scratch []wire.Event
-	for _, id := range g.MemberIDs() {
-		sess, ok := e.sessions[id]
-		if !ok {
-			continue // member lives on another server of the cluster
-		}
-		if containsID(exclSenders, id) {
-			// This member sent exclusive events of the run: encode its
-			// filtered view. The frame copies the events at construction,
-			// so the scratch slice is reusable.
-			scratch = scratch[:0]
-			for i := range entries {
-				if !entries[i].applied || (entries[i].ev.Sender == id && !entries[i].incl) {
-					continue
-				}
-				scratch = append(scratch, entries[i].ev)
-			}
-			if len(scratch) == 0 {
+	buildSpecial := func(id uint64) (*transport.SharedFrame, uint32) {
+		scratch = scratch[:0]
+		for i := range entries {
+			if !entries[i].applied || (entries[i].ev.Sender == id && !entries[i].incl) {
 				continue
 			}
-			e.hDeliveryBatch.Record(int64(len(scratch)))
-			sess.sendShared(transport.NewSharedFrame(deliverMsg(name, scratch)), high)
-			e.mDelivered.Add(uint64(len(scratch)))
+			scratch = append(scratch, entries[i].ev)
+		}
+		if len(scratch) == 0 {
+			return nil, 0
+		}
+		return transport.NewSharedFrame(deliverMsg(name, scratch)), uint32(len(scratch))
+	}
+
+	if e.fanout == nil {
+		var shared *transport.SharedFrame
+		for _, bucket := range snap.buckets {
+			for _, t := range bucket {
+				if containsID(exclSenders, t.id) {
+					f, n := buildSpecial(t.id)
+					if f == nil {
+						continue
+					}
+					e.hDeliveryBatch.Record(int64(n))
+					t.sess.sendShared(f, high)
+					e.mDelivered.Add(uint64(n))
+					continue
+				}
+				if shared == nil {
+					e.hDeliveryBatch.Record(int64(len(full)))
+					shared = transport.NewSharedFrame(deliverMsg(name, full))
+				}
+				shared.Retain()
+				t.sess.sendShared(shared, high)
+				e.mDelivered.Add(uint64(len(full)))
+			}
+		}
+		if shared != nil {
+			shared.Release()
+		}
+		return
+	}
+
+	ent := newFanoutEntry()
+	ent.snap = snap
+	ent.ring = grt.ring
+	ent.frame = transport.NewSharedFrame(deliverMsg(name, full))
+	ent.events = uint32(len(full))
+	ent.high = high
+	for _, id := range exclSenders {
+		if !snap.has(id) {
 			continue
 		}
-		if shared == nil {
-			e.hDeliveryBatch.Record(int64(len(full)))
-			shared = transport.NewSharedFrame(deliverMsg(name, full))
-		}
-		shared.Retain()
-		sess.sendShared(shared, high)
-		e.mDelivered.Add(uint64(len(full)))
+		f, n := buildSpecial(id)
+		ent.special = append(ent.special, specialFrame{id: id, frame: f, events: n})
 	}
-	if shared != nil {
-		shared.Release()
+	if !e.fanout.push(ent) {
+		recycleFanoutEntry(ent)
+		e.releaseCredit(grt.ring)
 	}
 }
 
@@ -306,14 +393,48 @@ type DistEvent struct {
 // catch-up path.
 func (e *Engine) ApplyDistributeBatch(group string, items []DistEvent) (int, error) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
+	ring, done, n, err := e.applyDistributeBatchLocked(group, items, nil)
+	e.mu.RUnlock()
+	for !done {
+		var credit *fanoutRing
+		switch e.waitFanoutSpace(ring) {
+		case waitGot:
+			credit = ring
+		case waitRetry:
+		case waitStopped:
+			return 0, ErrEngineClosed
+		}
+		e.mu.RLock()
+		ring, done, n, err = e.applyDistributeBatchLocked(group, items, credit)
+		e.mu.RUnlock()
+	}
+	return n, err
+}
+
+// applyDistributeBatchLocked is one ApplyDistributeBatch attempt under e.mu
+// (read mode), with the same credit-ownership contract as bcastLocked: the
+// whole batch costs one ring credit.
+func (e *Engine) applyDistributeBatchLocked(group string, items []DistEvent, credit *fanoutRing) (*fanoutRing, bool, int, error) {
 	g, ok := e.reg.Get(group)
 	if !ok {
-		return 0, fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
+		e.releaseCredit(credit)
+		return nil, true, 0, fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
 	}
-	gmu := e.groupMus[group]
-	gmu.Lock()
-	defer gmu.Unlock()
+	grt := e.groups[group]
+	held := (*fanoutRing)(nil)
+	if e.fanout != nil {
+		if credit != grt.ring {
+			e.releaseCredit(credit)
+			if !grt.ring.tryAcquire() {
+				return grt.ring, false, 0, nil
+			}
+		}
+		held = grt.ring
+	} else {
+		e.releaseCredit(credit)
+	}
+	grt.mu.Lock()
+	defer grt.mu.Unlock()
 	st := e.getState(group)
 	entries := make([]batchEntry, 0, len(items))
 	consumed := 0
@@ -339,13 +460,15 @@ func (e *Engine) ApplyDistributeBatch(group string, items []DistEvent) (int, err
 	}
 	if len(entries) > 0 {
 		e.hIngestBatch.Record(int64(len(entries)))
-		e.applyAndFanoutBatch(group, g, entries)
+		e.applyAndFanoutBatch(group, g, grt, entries)
 		for i := range entries {
 			e.ackDistributedLocked(entries[i].ev, entries[i].reqID)
 		}
+	} else {
+		e.releaseCredit(held)
 	}
 	if consumed < len(items) {
-		return consumed, fmt.Errorf("%w: got %d, want %d", ErrSeqGap, items[consumed].Event.Seq, expected)
+		return nil, true, consumed, fmt.Errorf("%w: got %d, want %d", ErrSeqGap, items[consumed].Event.Seq, expected)
 	}
-	return consumed, nil
+	return nil, true, consumed, nil
 }

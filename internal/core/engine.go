@@ -28,6 +28,7 @@ package core
 import (
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"corona/internal/obs"
 	"corona/internal/seq"
 	"corona/internal/state"
+	"corona/internal/transport"
 	"corona/internal/wal"
 	"corona/internal/wire"
 )
@@ -76,6 +78,12 @@ type EngineConfig struct {
 	// queued normal traffic on each client connection — the scheduling
 	// control of the paper's QoS-adaptive server (§5.3).
 	PriorityOf func(group string) Priority
+	// FanoutShards sets the width of the off-lock delivery pipeline: the
+	// number of fanout workers the receiver sets are sharded over. 0
+	// picks a default from GOMAXPROCS; negative disables the pipeline
+	// and fans out under the group mutex (the pre-pipeline lock shape,
+	// kept for A/B benchmarking).
+	FanoutShards int
 	// Metrics is the registry the engine hangs its instruments on.
 	// cmd/coronad passes obs.Default so they show up at -debug-addr;
 	// nil gets a private registry, keeping each test engine's numbers
@@ -140,18 +148,21 @@ type walLog interface {
 
 // Engine is the stateful multicast service core.
 //
-// Locking protocol. e.mu guards the registries (reg, states, groupMus,
+// Locking protocol. e.mu guards the registries (reg, states, groups,
 // sessions, locks, nextClient, closed). Operations that mutate them — group
 // create/delete, join/leave, session add/drop, lock ops, log reduction —
 // take it in write mode. The multicast path (handleBcast, ApplyDistribute,
 // ApplyEvents) takes it in read mode plus the target group's mutex from
-// groupMus, so multicasts to disjoint groups run in parallel while any
-// write-mode operation still excludes every multicast (which is what makes
-// JoinAck-before-Deliver and snapshot consistency trivial). Order: e.mu
-// before a group mutex; a group mutex is only ever held together with the
-// read lock, and never more than one at a time. lowLSN has its own little
-// mutex (lsnMu) because WAL completion callbacks update it from the
-// committer goroutine.
+// its groupRuntime, so multicasts to disjoint groups run in parallel while
+// any write-mode operation still excludes every multicast (which is what
+// makes JoinAck-before-Deliver and snapshot consistency trivial). Order:
+// e.mu before a group mutex; a group mutex is only ever held together with
+// the read lock, and never more than one at a time. The group critical
+// section covers sequence+apply+persist-enqueue only: fanout is pushed as
+// a non-blocking ring entry and runs on the fanout pool's shards off-lock
+// (see fanout.go for the pipeline's own ordering argument). lowLSN has its
+// own little mutex (lsnMu) because WAL completion callbacks update it from
+// the committer goroutine.
 type Engine struct {
 	cfg EngineConfig
 	log *slog.Logger
@@ -159,13 +170,21 @@ type Engine struct {
 	mu         sync.RWMutex
 	reg        *membership.Registry
 	states     map[string]*state.Group
-	groupMus   map[string]*sync.Mutex
+	groups     map[string]*groupRuntime
 	locks      *locks.Table
 	seqr       *seq.Sequencer
 	sessions   map[uint64]*Session
 	wal        walLog // nil when Dir == "" or Stateless
 	nextClient uint64
 	closed     bool
+
+	// fanout is the off-lock delivery pool, nil when FanoutShards < 0
+	// (inline fanout under the group mutex). stopped is closed by Close
+	// and wakes senders blocked on a full fanout ring. reporter owns the
+	// single error-logging goroutine the locked paths enqueue to.
+	fanout   *fanoutPool
+	stopped  chan struct{}
+	reporter *errReporter
 
 	lsnMu  sync.Mutex
 	lowLSN map[string]uint64
@@ -185,10 +204,17 @@ type Engine struct {
 	gSessions         *obs.Gauge
 	gGroups           *obs.Gauge
 	gTransferInflight *obs.Gauge
+	mFanoutWaits      *obs.Counter
+	mLogDrops         *obs.Counter
+	mShardBusy        *obs.Counter
+	gRingDepth        *obs.Gauge
 	hFanout           *obs.Histogram
 	hJoin             *obs.Histogram
 	hJoinLockHold     *obs.Histogram
 	hLockWait         *obs.Histogram
+	hLockHold         *obs.Histogram
+	hOfflock          *obs.Histogram
+	hShardBatch       *obs.Histogram
 	hIngestBatch      *obs.Histogram
 	hDeliveryBatch    *obs.Histogram
 }
@@ -231,10 +257,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		log:      cfg.Logger,
 		reg:      membership.NewRegistry(cfg.SessionManager),
 		states:   make(map[string]*state.Group),
-		groupMus: make(map[string]*sync.Mutex),
+		groups:   make(map[string]*groupRuntime),
 		locks:    locks.NewTable(),
 		seqr:     seq.New(cfg.Now),
 		sessions: make(map[uint64]*Session),
+		stopped:  make(chan struct{}),
 		lowLSN:   make(map[string]uint64),
 
 		metrics:           metrics,
@@ -246,15 +273,26 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		mTransferChunks:   metrics.Counter("engine.transfer_chunks"),
 		mWALErrors:        metrics.Counter("engine.wal_append_errors"),
 		mApplyErrors:      metrics.Counter("engine.apply_errors"),
+		mFanoutWaits:      metrics.Counter("engine.fanout_backpressure_waits"),
+		mLogDrops:         metrics.Counter("engine.error_log_dropped"),
+		mShardBusy:        metrics.Counter("engine.fanout_shard_busy_ns"),
 		gSessions:         metrics.Gauge("engine.sessions"),
 		gGroups:           metrics.Gauge("engine.groups"),
 		gTransferInflight: metrics.Gauge("engine.transfer_inflight_bytes"),
+		gRingDepth:        metrics.Gauge("engine.fanout_ring_depth"),
 		hFanout:           metrics.Histogram("engine.fanout_ns"),
 		hJoin:             metrics.Histogram("engine.join_ns"),
 		hJoinLockHold:     metrics.Histogram("engine.join_lock_hold_ns"),
 		hLockWait:         metrics.Histogram("engine.bcast_lock_wait_ns"),
+		hLockHold:         metrics.Histogram("engine.bcast_lock_hold_ns"),
+		hOfflock:          metrics.Histogram("engine.fanout_offlock_ns"),
+		hShardBatch:       metrics.Histogram("engine.fanout_shard_batch"),
 		hIngestBatch:      metrics.Histogram("engine.ingest_batch_size"),
 		hDeliveryBatch:    metrics.Histogram("engine.delivery_batch_size"),
+	}
+	e.reporter = newErrReporter(e.log, e.mLogDrops)
+	if w := fanoutWidth(cfg.FanoutShards); w > 0 {
+		e.fanout = newFanoutPool(e, w)
 	}
 	if cfg.Dir != "" && !cfg.Stateless {
 		l, err := wal.Open(wal.Options{
@@ -286,8 +324,9 @@ func (e *Engine) syncGroupsGauge() {
 	e.gGroups.Set(int64(e.reg.Len()))
 }
 
-// Close shuts the engine down: every session is closed and the log is
-// flushed. Safe to call more than once.
+// Close shuts the engine down: senders blocked on fanout backpressure are
+// woken, every session is closed, the fanout pool drains and stops, and
+// the log is flushed. Safe to call more than once.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -295,6 +334,7 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	close(e.stopped)
 	sessions := make([]*Session, 0, len(e.sessions))
 	for _, s := range e.sessions {
 		sessions = append(sessions, s)
@@ -305,6 +345,10 @@ func (e *Engine) Close() error {
 	for _, s := range sessions {
 		s.close()
 	}
+	if e.fanout != nil {
+		e.fanout.close()
+	}
+	e.reporter.close()
 	if l != nil {
 		return l.Close()
 	}
@@ -410,9 +454,8 @@ func (e *Engine) installLocked(name string, persistent bool, cp state.Checkpoint
 		}
 		e.syncGroupsGauge()
 	}
-	if e.groupMus[name] == nil {
-		e.groupMus[name] = new(sync.Mutex)
-	}
+	e.ensureGroupRuntime(name)
+	e.rebuildFanoutLocked(name)
 	if !e.cfg.Stateless {
 		e.states[name] = st
 	}
@@ -459,10 +502,10 @@ func (e *Engine) CaptureMigration(name string) (persistent bool, tr state.Transf
 	if st == nil {
 		return false, state.Transfer{}, 0, false
 	}
-	gmu := e.groupMus[name]
-	gmu.Lock()
+	grt := e.groups[name]
+	grt.mu.Lock()
 	tr, digest = st.CaptureCheckpoint()
-	gmu.Unlock()
+	grt.mu.Unlock()
 	return g.Persistent, tr, digest, true
 }
 
@@ -536,4 +579,163 @@ func (e *Engine) failSession(s *Session, reason error) {
 	e.mDropped.Inc()
 	e.metrics.Event("core", fmt.Sprintf("dropping session %d (%s): %v", s.ID, s.Name, reason))
 	s.close()
+}
+
+// fanoutWidth resolves the FanoutShards setting: 0 means a GOMAXPROCS-
+// derived default, negative means inline fanout (width 0), and explicit
+// widths are clamped to maxFanoutShards.
+func fanoutWidth(configured int) int {
+	w := configured
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w < 2 {
+			w = 2
+		}
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w < 0 {
+		return 0
+	}
+	if w > maxFanoutShards {
+		return maxFanoutShards
+	}
+	return w
+}
+
+// snapWidth is the number of buckets receiver snapshots are built with:
+// the pool width, or one when fanout runs inline.
+func (e *Engine) snapWidth() int {
+	if e.fanout == nil {
+		return 1
+	}
+	return e.fanout.width()
+}
+
+// ensureGroupRuntime returns the group's runtime, creating it (with an
+// empty receiver snapshot) on first sight. Caller holds e.mu in write mode
+// or is initializing.
+func (e *Engine) ensureGroupRuntime(name string) *groupRuntime {
+	grt := e.groups[name]
+	if grt == nil {
+		grt = &groupRuntime{snap: &fanoutSnap{buckets: make([][]fanoutTarget, e.snapWidth())}}
+		if e.fanout != nil {
+			grt.ring = newFanoutRing()
+		}
+		e.groups[name] = grt
+	}
+	return grt
+}
+
+// rebuildFanoutLocked replaces a group's COW receiver snapshot: the local
+// members intersected with live sessions, pre-partitioned by session ID
+// into one bucket per fanout shard. Called after every mutation of the
+// group's membership or of the session set — the one map lookup per member
+// happens here, once per membership change, instead of once per receiver
+// per event on the delivery path. Caller holds e.mu in write mode (or is
+// initializing), which excludes every reader of grt.snap.
+func (e *Engine) rebuildFanoutLocked(name string) {
+	grt := e.groups[name]
+	if grt == nil {
+		return
+	}
+	w := e.snapWidth()
+	snap := &fanoutSnap{buckets: make([][]fanoutTarget, w)}
+	if g, ok := e.reg.Get(name); ok {
+		for _, id := range g.MemberIDs() {
+			sess, ok := e.sessions[id]
+			if !ok {
+				continue // member lives on another server of the cluster
+			}
+			b := int(id % uint64(w))
+			snap.buckets[b] = append(snap.buckets[b], fanoutTarget{id: id, sess: sess})
+			snap.mask |= 1 << b
+			snap.size++
+		}
+	}
+	// Sorted buckets let has() binary-search on the hot path; delivery
+	// order within a bucket is free (per-receiver FIFO is per receiver).
+	for _, b := range snap.buckets {
+		sort.Slice(b, func(i, j int) bool { return b[i].id < b[j].id })
+	}
+	grt.snap = snap
+}
+
+// waitResult is the outcome of one off-lock wait for fanout-ring space.
+type waitResult int
+
+const (
+	// waitGot: a ring credit was acquired and is owned by the caller.
+	waitGot waitResult = iota
+	// waitRetry: the ring closed (group deleted, possibly re-created);
+	// no credit is held and the caller must revalidate.
+	waitRetry
+	// waitStopped: the engine is shutting down.
+	waitStopped
+)
+
+// waitFanoutSpace blocks until the group's fanout ring frees a slot — the
+// backpressure half of the delivery pipeline. Must be called with no
+// engine locks held.
+func (e *Engine) waitFanoutSpace(r *fanoutRing) waitResult {
+	e.mFanoutWaits.Inc()
+	select {
+	case <-r.credits:
+		return waitGot
+	case <-r.closed:
+		return waitRetry
+	case <-e.stopped:
+		return waitStopped
+	}
+}
+
+// releaseCredit returns a possibly-nil held ring credit; safe under the
+// engine locks.
+func (e *Engine) releaseCredit(r *fanoutRing) {
+	if r != nil {
+		r.release()
+	}
+}
+
+// recordLockHold charges one group-lock hold covering n multicasts to the
+// engine.bcast_lock_hold_ns histogram, amortized: hold/n recorded n times,
+// so Sum stays the true lock time and the quantiles answer "what does one
+// multicast cost inside the critical section" independent of how many
+// events the read loop happened to coalesce into the acquisition.
+func (e *Engine) recordLockHold(holdNs int64, n int) {
+	if n <= 1 {
+		e.hLockHold.Record(holdNs)
+		return
+	}
+	per := holdNs / int64(n)
+	for i := 0; i < n; i++ {
+		e.hLockHold.Record(per)
+	}
+}
+
+// sendControlLocked routes a reply through the delivery pipeline so it
+// cannot overtake deliveries already pushed for the session — LeaveAck
+// must come after every Deliver the member is still owed. Caller holds
+// e.mu in write mode, which orders the push after every earlier fanout
+// push and before every later one. Control entries bypass ring credits.
+// In inline mode (no pipeline) the reply is enqueued directly, which is
+// already ordered because inline fanout happens under the same locks.
+func (e *Engine) sendControlLocked(s *Session, msg wire.Message, high bool) {
+	if e.fanout == nil {
+		s.sendShared(transport.NewSharedFrame(msg), high)
+		return
+	}
+	ent := newFanoutEntry()
+	ent.frame = transport.NewSharedFrame(msg)
+	ent.targets = append(ent.targets, fanoutTarget{id: s.ID, sess: s})
+	ent.high = high
+	if !e.fanout.push(ent) {
+		// Pool closing: deliver directly (the pump is closing too, so
+		// this degrades to a no-op rather than a lost ordering edge).
+		f := ent.frame
+		ent.frame = nil
+		recycleFanoutEntry(ent)
+		s.sendShared(f, high)
+	}
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"log/slog"
+
+	"corona/internal/obs"
+)
+
+// errReporter serializes hot-path error logging onto one goroutine. The
+// apply and WAL-enqueue paths run under the engine locks, where blocking
+// log I/O is forbidden (lockhold); the old escape hatch spawned one
+// goroutine per error, which under a storm (a diverged replica rejecting
+// every event) meant an unbounded goroutine burst all contending for the
+// log sink. report is a bounded non-blocking enqueue instead: overflow is
+// counted (engine.error_log_dropped), never waited on, and the single
+// drain goroutine coalesces identical consecutive reports into one line
+// with a count.
+type errReporter struct {
+	log   *slog.Logger
+	drops *obs.Counter
+	ch    chan errReport
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+type errReport struct {
+	msg   string
+	group string
+	seq   uint64
+	err   string
+}
+
+// sameKey reports whether two reports coalesce: same message, group, and
+// error text (the sequence number is allowed to differ and the last one
+// wins).
+func (a errReport) sameKey(b errReport) bool {
+	return a.msg == b.msg && a.group == b.group && a.err == b.err
+}
+
+func newErrReporter(log *slog.Logger, drops *obs.Counter) *errReporter {
+	r := &errReporter{
+		log:   log,
+		drops: drops,
+		ch:    make(chan errReport, 64),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+// report queues one error line. It never blocks and never panics, so it is
+// safe under the engine locks and during shutdown races: a full queue or a
+// stopped reporter counts a drop instead.
+func (r *errReporter) report(msg, group string, seq uint64, err error) {
+	select {
+	case <-r.stop:
+		r.drops.Inc()
+		return
+	default:
+	}
+	select {
+	case r.ch <- errReport{msg: msg, group: group, seq: seq, err: err.Error()}:
+	default:
+		r.drops.Inc()
+	}
+}
+
+// close stops the drain goroutine after it empties the queue.
+func (r *errReporter) close() {
+	close(r.stop)
+	<-r.done
+}
+
+func (r *errReporter) run() {
+	defer close(r.done)
+	for {
+		var rep errReport
+		select {
+		case rep = <-r.ch:
+		case <-r.stop:
+			for {
+				select {
+				case rep = <-r.ch:
+					r.emit(rep, 1)
+				default:
+					return
+				}
+			}
+		}
+		// Coalesce identical reports already queued behind this one.
+		count := 1
+	drain:
+		for {
+			select {
+			case next := <-r.ch:
+				if next.sameKey(rep) {
+					count++
+					rep.seq = next.seq
+					continue
+				}
+				r.emit(rep, count)
+				rep, count = next, 1
+			default:
+				break drain
+			}
+		}
+		r.emit(rep, count)
+	}
+}
+
+func (r *errReporter) emit(rep errReport, count int) {
+	if count > 1 {
+		r.log.Error(rep.msg, "group", rep.group, "seq", rep.seq, "err", rep.err, "coalesced", count)
+		return
+	}
+	r.log.Error(rep.msg, "group", rep.group, "seq", rep.seq, "err", rep.err)
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"corona/internal/locks"
@@ -95,9 +94,8 @@ func (e *Engine) createLocked(name string, persistent bool, initial []wire.Objec
 	if !e.cfg.Stateless {
 		e.states[name] = state.NewInitial(initial)
 	}
-	if _, ok := e.groupMus[name]; !ok {
-		e.groupMus[name] = new(sync.Mutex)
-	}
+	e.ensureGroupRuntime(name)
+	e.rebuildFanoutLocked(name)
 	e.persistCreate(name, persistent, initial)
 	e.syncGroupsGauge()
 	e.metrics.Event("core", fmt.Sprintf("group %q created (persistent=%v)", name, persistent))
@@ -194,6 +192,7 @@ func (e *Engine) handleJoin(s *Session, m *wire.Join) {
 		s.sendErr(m.RequestID, errCode(err), err.Error())
 		return
 	}
+	e.rebuildFanoutLocked(m.Group)
 	// The membership hook runs before the ack is built so the global
 	// view (mirror) already includes the joiner.
 	if e.cfg.Hooks.OnMembershipChange != nil {
@@ -220,6 +219,7 @@ func (e *Engine) handleJoin(s *Session, m *wire.Join) {
 			// membership hook (the MemberJoined above already reached
 			// the cluster mirror) and the transient-group rule.
 			if g2, empty, lerr := e.reg.Leave(m.Group, s.ID); lerr == nil {
+				e.rebuildFanoutLocked(m.Group)
 				if e.cfg.Hooks.OnMembershipChange != nil {
 					e.cfg.Hooks.OnMembershipChange(m.Group, wire.MemberLeft, info, g2.Size())
 				}
@@ -312,26 +312,7 @@ func (e *Engine) membersLocked(name string, g *membership.Group) []wire.MemberIn
 // notifySubscribersExceptLocked is notifySubscribersLocked minus one
 // recipient — the joiner already learns the membership from its JoinAck.
 func (e *Engine) notifySubscribersExceptLocked(g *membership.Group, change wire.MembershipChange, member wire.MemberInfo, except uint64) {
-	var frame *transport.SharedFrame
-	for _, id := range g.Subscribers() {
-		if id == except {
-			continue
-		}
-		sess, ok := e.sessions[id]
-		if !ok {
-			continue
-		}
-		if frame == nil {
-			frame = transport.NewSharedFrame(&wire.MembershipNotify{
-				Group: g.Name, Change: change, Member: member, Count: uint32(g.Size()),
-			})
-		}
-		frame.Retain()
-		sess.sendShared(frame, false)
-	}
-	if frame != nil {
-		frame.Release()
-	}
+	e.notifySubsLocked(g, change, member, except)
 }
 
 func (e *Engine) handleLeave(s *Session, m *wire.Leave) {
@@ -347,7 +328,10 @@ func (e *Engine) handleLeave(s *Session, m *wire.Leave) {
 		return
 	}
 	e.removeMemberLocked(m.Group, s.ID, wire.MemberLeft)
-	s.send(&wire.LeaveAck{RequestID: m.RequestID})
+	// The ack rides the delivery pipeline behind every Deliver already
+	// pushed for the leaver, so the client still observes no Deliver
+	// after LeaveAck with fanout running off-lock.
+	e.sendControlLocked(s, &wire.LeaveAck{RequestID: m.RequestID}, false)
 }
 
 func (e *Engine) handleGetMembership(s *Session, m *wire.GetMembership) {
@@ -368,25 +352,56 @@ func (e *Engine) handleListGroups(s *Session, m *wire.ListGroups) {
 }
 
 func (e *Engine) handleBcast(s *Session, m *wire.Bcast) {
+	// Fast path: validate, sequence, and push the fanout entry under one
+	// read-lock span. Done is false only when the group's fanout ring was
+	// full — then wait for a delivery slot off-lock (no engine lock held,
+	// so deliveries and unrelated groups proceed) and retry.
 	e.mu.RLock()
-	defer e.mu.RUnlock()
+	ring, done := e.bcastLocked(s, m, nil)
+	e.mu.RUnlock()
+	for !done {
+		var credit *fanoutRing
+		switch e.waitFanoutSpace(ring) {
+		case waitGot:
+			credit = ring
+		case waitRetry:
+			// Ring closed (group deleted/migrated mid-wait); revalidate.
+		case waitStopped:
+			s.sendErr(m.RequestID, wire.CodeInternal, "server shutting down")
+			return
+		}
+		e.mu.RLock()
+		ring, done = e.bcastLocked(s, m, credit)
+		e.mu.RUnlock()
+	}
+}
 
+// bcastLocked runs one Bcast attempt under e.mu (read mode). credit, when
+// non-nil, is a fanout-ring slot the caller already holds; bcastLocked takes
+// ownership and either uses it (if it belongs to the group's current ring)
+// or releases it. Returns done=false with the ring to wait on when the ring
+// was full; every other outcome (success or client error) returns done=true.
+func (e *Engine) bcastLocked(s *Session, m *wire.Bcast, credit *fanoutRing) (*fanoutRing, bool) {
 	g, ok := e.reg.Get(m.Group)
 	if !ok {
+		e.releaseCredit(credit)
 		s.sendErr(m.RequestID, wire.CodeNoSuchGroup, "no such group")
-		return
+		return nil, true
 	}
 	if !g.Has(s.ID) {
+		e.releaseCredit(credit)
 		s.sendErr(m.RequestID, wire.CodeNotMember, "only members may multicast")
-		return
+		return nil, true
 	}
 	if !m.EvKind.Valid() {
+		e.releaseCredit(credit)
 		s.sendErr(m.RequestID, wire.CodeBadRequest, "invalid event kind")
-		return
+		return nil, true
 	}
 	if mi, ok := g.Member(s.ID); ok && mi.Role == wire.RoleObserver {
+		e.releaseCredit(credit)
 		s.sendErr(m.RequestID, wire.CodeDenied, "observers may not modify shared state")
-		return
+		return nil, true
 	}
 
 	ev := wire.Event{
@@ -399,42 +414,68 @@ func (e *Engine) handleBcast(s *Session, m *wire.Bcast) {
 	if e.cfg.Hooks.Forward != nil {
 		// Replicated service: the coordinator sequences; the ack is
 		// sent when the event returns via ApplyDistribute.
+		e.releaseCredit(credit)
 		if err := e.cfg.Hooks.Forward(m.Group, ev, m.SenderInclusive, m.RequestID); err != nil {
 			s.sendErr(m.RequestID, wire.CodeInternal, err.Error())
 		}
-		return
+		return nil, true
 	}
 
-	// Sequence, apply, and fan out under the group's own mutex: bcasts
-	// into disjoint groups proceed in parallel, while this group's total
-	// order stays serialized.
-	gmu := e.groupMus[m.Group]
+	// Reserve the delivery slot before entering the critical section so a
+	// full ring never blocks while the group mutex is held.
+	grt := e.groups[m.Group]
+	if e.fanout != nil {
+		if credit != grt.ring {
+			e.releaseCredit(credit)
+			if !grt.ring.tryAcquire() {
+				return grt.ring, false
+			}
+		}
+	} else {
+		e.releaseCredit(credit)
+	}
+
+	// Sequence, apply, and enqueue the fanout under the group's own mutex:
+	// bcasts into disjoint groups proceed in parallel, while this group's
+	// total order stays serialized. The critical section is now
+	// sequence+apply+persist-enqueue+ring-push — delivery runs off-lock.
 	waitStart := time.Now()
-	gmu.Lock()
+	grt.mu.Lock()
 	e.hLockWait.Record(time.Since(waitStart).Nanoseconds())
 	e.hIngestBatch.Record(1)
+	holdStart := time.Now()
 	ev.Seq, ev.Time = e.seqr.Next(m.Group)
-	ackDeferred := e.applyAndFanout(m.Group, g, ev, m.SenderInclusive, func() {
+	ackDeferred := e.applyAndFanout(m.Group, g, grt, ev, m.SenderInclusive, func() {
 		s.send(&wire.BcastAck{RequestID: m.RequestID, Seq: ev.Seq})
 	})
-	gmu.Unlock()
+	grt.mu.Unlock()
+	e.hLockHold.Record(time.Since(holdStart).Nanoseconds())
 	if !ackDeferred {
 		s.send(&wire.BcastAck{RequestID: m.RequestID, Seq: ev.Seq})
 	}
+	return nil, true
 }
 
-// applyAndFanout folds a sequenced event into the group state, fans the
-// delivery out to every local member (honouring sender-exclusive) as one
-// pooled shared frame, and queues the event record for group commit. The
-// fanout runs in parallel with disk logging (paper §6): receivers may see
-// an event whose record a crash then loses — the paper accepts losing the
-// latest unflushed updates. When onDurable is non-nil and the engine defers
+// applyAndFanout folds a sequenced event into the group state, enqueues the
+// delivery on the group's fanout ring (sharded mode) or fans it out inline
+// (baseline mode), and queues the event record for group commit. The fanout
+// runs in parallel with disk logging (paper §6): receivers may see an event
+// whose record a crash then loses — the paper accepts losing the latest
+// unflushed updates. When onDurable is non-nil and the engine defers
 // acknowledgement until durability (SyncAlways on a persistent group), the
 // callback is handed to the WAL group-commit writer and applyAndFanout
 // reports true; otherwise the caller acknowledges immediately.
 //
-// Caller holds e.mu (read mode suffices) and the group's mutex.
-func (e *Engine) applyAndFanout(name string, g *membership.Group, ev wire.Event, senderInclusive bool, onDurable func()) (ackDeferred bool) {
+// Caller holds e.mu (read mode suffices) and the group's mutex. In sharded
+// mode the caller has already acquired one credit of grt.ring; applyAndFanout
+// owns it from here — the pushed entry carries it to the fanout worker's
+// finalize, and every non-push outcome releases it.
+//
+// The Deliver frame is encoded here, under the group mutex: ev.Data may
+// alias the sender connection's read buffer, which is reused as soon as the
+// sender's next request is read — so the bytes must be serialized before the
+// critical section ends (zero-copy ingest contract, DESIGN §4).
+func (e *Engine) applyAndFanout(name string, g *membership.Group, grt *groupRuntime, ev wire.Event, senderInclusive bool, onDurable func()) (ackDeferred bool) {
 	start := time.Now()
 	defer func() { e.hFanout.Record(time.Since(start).Nanoseconds()) }()
 	e.mBcasts.Inc()
@@ -444,10 +485,13 @@ func (e *Engine) applyAndFanout(name string, g *membership.Group, ev wire.Event,
 			// A sequencing bug; keep serving. Callers hold e.mu and the
 			// group mutex, where blocking log I/O is forbidden (lockhold):
 			// the counter and trace ring carry the in-band signal and the
-			// loud slog line runs from its own goroutine.
+			// loud slog line runs from the reporter's goroutine.
 			e.mApplyErrors.Inc()
 			e.metrics.Event("core", fmt.Sprintf("apply failed: group=%s seq=%d: %v", name, ev.Seq, err))
-			go e.log.Error("apply failed", "group", name, "seq", ev.Seq, "err", err)
+			e.reporter.report("apply failed", name, ev.Seq, err)
+			if e.fanout != nil {
+				e.releaseCredit(grt.ring)
+			}
 			return false
 		}
 	}
@@ -456,25 +500,30 @@ func (e *Engine) applyAndFanout(name string, g *membership.Group, ev wire.Event,
 	if e.cfg.PriorityOf != nil {
 		high = e.cfg.PriorityOf(name) == PriorityHigh
 	}
-	var frame *transport.SharedFrame
-	for _, id := range g.MemberIDs() {
-		if id == ev.Sender && !senderInclusive {
-			continue
-		}
-		sess, ok := e.sessions[id]
-		if !ok {
-			continue // member lives on another server of the cluster
-		}
-		if frame == nil {
-			frame = transport.NewSharedFrame(&wire.Deliver{Group: name, Event: ev})
-		}
-		frame.Retain()
-		sess.sendShared(frame, high)
-		e.mDelivered.Inc()
+	snap := grt.snap
+	recv := snap.size
+	if !senderInclusive && snap.has(ev.Sender) {
+		recv--
 	}
-	if frame != nil {
-		e.hDeliveryBatch.Record(1)
-		frame.Release()
+	if e.fanout == nil {
+		e.fanoutInline(name, snap, ev, senderInclusive, high, recv)
+	} else if recv == 0 {
+		e.releaseCredit(grt.ring)
+	} else {
+		ent := newFanoutEntry()
+		ent.snap = snap
+		ent.ring = grt.ring
+		ent.frame = transport.NewSharedFrame(&wire.Deliver{Group: name, Event: ev})
+		ent.events = 1
+		if !senderInclusive {
+			ent.excl = ev.Sender
+		}
+		ent.high = high
+		if !e.fanout.push(ent) {
+			// Pool shutting down: nothing to deliver to anyway.
+			recycleFanoutEntry(ent)
+			e.releaseCredit(grt.ring)
+		}
 	}
 
 	if st != nil {
@@ -486,6 +535,28 @@ func (e *Engine) applyAndFanout(name string, g *membership.Group, ev wire.Event,
 		}
 	}
 	return ackDeferred
+}
+
+// fanoutInline is the pre-pipeline baseline (FanoutShards < 0): fan the
+// delivery out to every receiver while the group mutex is held. Kept for
+// A/B benchmarking of lock-hold scaling. Caller holds e.mu and grt.mu.
+func (e *Engine) fanoutInline(name string, snap *fanoutSnap, ev wire.Event, senderInclusive bool, high bool, recv int) {
+	if recv == 0 {
+		return
+	}
+	frame := transport.NewSharedFrame(&wire.Deliver{Group: name, Event: ev})
+	for _, bucket := range snap.buckets {
+		for _, t := range bucket {
+			if t.id == ev.Sender && !senderInclusive {
+				continue
+			}
+			frame.Retain()
+			t.sess.sendShared(frame, high)
+			e.mDelivered.Inc()
+		}
+	}
+	e.hDeliveryBatch.Record(1)
+	frame.Release()
 }
 
 // ErrSeqGap reports that a distributed event skipped ahead of the replica's
@@ -501,30 +572,75 @@ var ErrSeqGap = errors.New("core: distributed event leaves a sequence gap")
 // sender still gets its ack); events beyond it return ErrSeqGap.
 func (e *Engine) ApplyDistribute(group string, ev wire.Event, senderInclusive bool, reqID uint64) error {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
+	ring, done, err := e.applyDistributeLocked(group, ev, senderInclusive, reqID, nil)
+	e.mu.RUnlock()
+	for !done {
+		var credit *fanoutRing
+		switch e.waitFanoutSpace(ring) {
+		case waitGot:
+			credit = ring
+		case waitRetry:
+		case waitStopped:
+			return ErrEngineClosed
+		}
+		e.mu.RLock()
+		ring, done, err = e.applyDistributeLocked(group, ev, senderInclusive, reqID, credit)
+		e.mu.RUnlock()
+	}
+	return err
+}
+
+// applyDistributeLocked is one ApplyDistribute attempt under e.mu (read
+// mode). Credit ownership follows bcastLocked: a non-nil credit is consumed
+// or released here; done=false means the ring was full and the caller should
+// wait on it off-lock and retry.
+func (e *Engine) applyDistributeLocked(group string, ev wire.Event, senderInclusive bool, reqID uint64, credit *fanoutRing) (*fanoutRing, bool, error) {
 	g, ok := e.reg.Get(group)
 	if !ok {
-		return fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
+		e.releaseCredit(credit)
+		return nil, true, fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
 	}
-	gmu := e.groupMus[group]
-	gmu.Lock()
-	defer gmu.Unlock()
+	grt := e.groups[group]
+	held := (*fanoutRing)(nil)
+	if e.fanout != nil {
+		if credit != grt.ring {
+			e.releaseCredit(credit)
+			if !grt.ring.tryAcquire() {
+				return grt.ring, false, nil
+			}
+		}
+		held = grt.ring
+	} else {
+		e.releaseCredit(credit)
+	}
+	grt.mu.Lock()
+	holdStart := time.Now()
 	if st := e.getState(group); st != nil {
+		// Read the high-water mark once while the group mutex is held:
+		// the return arguments below are evaluated after the Unlock, so a
+		// direct st.NextSeq() there would race with a concurrent apply.
+		next := st.NextSeq()
 		switch {
-		case ev.Seq < st.NextSeq():
+		case ev.Seq < next:
+			grt.mu.Unlock()
+			e.releaseCredit(held)
 			e.ackDistributedLocked(ev, reqID)
-			return nil
-		case ev.Seq > st.NextSeq():
-			return fmt.Errorf("%w: got %d, want %d", ErrSeqGap, ev.Seq, st.NextSeq())
+			return nil, true, nil
+		case ev.Seq > next:
+			grt.mu.Unlock()
+			e.releaseCredit(held)
+			return nil, true, fmt.Errorf("%w: got %d, want %d", ErrSeqGap, ev.Seq, next)
 		}
 	}
 	e.seqr.Observe(group, ev.Seq)
 	// The replicated path acknowledges inline: the coordinator already
 	// ordered the event, and the paper's ack contract binds durability to
 	// the sender's own server only for the single-server SyncAlways path.
-	e.applyAndFanout(group, g, ev, senderInclusive, nil)
+	e.applyAndFanout(group, g, grt, ev, senderInclusive, nil)
+	grt.mu.Unlock()
+	e.hLockHold.Record(time.Since(holdStart).Nanoseconds())
 	e.ackDistributedLocked(ev, reqID)
-	return nil
+	return nil, true, nil
 }
 
 // ackDistributedLocked completes a local sender's pending BcastAck. Caller
@@ -539,29 +655,113 @@ func (e *Engine) ackDistributedLocked(ev wire.Event, reqID uint64) {
 }
 
 // ApplyEvents folds a caught-up event suffix into a replica (after an
-// ErrSeqGap fetch). Events already applied are skipped.
+// ErrSeqGap fetch). Events already applied are skipped. The suffix is
+// chunked so the pre-acquired fanout credits per chunk stay well under the
+// ring capacity — a catch-up larger than the ring would otherwise deadlock
+// against its own undrained entries.
 func (e *Engine) ApplyEvents(group string, events []wire.Event) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	g, ok := e.reg.Get(group)
-	if !ok {
-		return fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
-	}
-	gmu := e.groupMus[group]
-	gmu.Lock()
-	defer gmu.Unlock()
-	st := e.getState(group)
-	if st == nil {
-		return nil
-	}
-	for _, ev := range events {
-		if ev.Seq < st.NextSeq() {
-			continue
+	for len(events) > 0 {
+		n := len(events)
+		if n > maxIngestBatch {
+			n = maxIngestBatch
 		}
-		e.seqr.Observe(group, ev.Seq)
-		e.applyAndFanout(group, g, ev, true, nil)
+		if err := e.applyEventsChunk(group, events[:n]); err != nil {
+			return err
+		}
+		events = events[n:]
 	}
 	return nil
+}
+
+// acquireFanoutCredits reserves n delivery slots on the group's fanout ring
+// before the caller takes any engine lock, blocking off-lock as needed.
+// Returns how many credits were acquired and the ring they belong to; the
+// caller owns them. Inline mode acquires nothing.
+func (e *Engine) acquireFanoutCredits(group string, n int) (int, *fanoutRing, error) {
+	if e.fanout == nil {
+		return 0, nil, nil
+	}
+	e.mu.RLock()
+	grt, ok := e.groups[group]
+	e.mu.RUnlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
+	}
+	ring := grt.ring
+	got := 0
+	for got < n {
+		if ring.tryAcquire() {
+			got++
+			continue
+		}
+		switch e.waitFanoutSpace(ring) {
+		case waitGot:
+			got++
+		case waitRetry:
+			// Ring closed under us: the group was deleted or migrated.
+			for ; got > 0; got-- {
+				ring.release()
+			}
+			return 0, nil, fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
+		case waitStopped:
+			for ; got > 0; got-- {
+				ring.release()
+			}
+			return 0, nil, ErrEngineClosed
+		}
+	}
+	return got, ring, nil
+}
+
+// applyEventsChunk applies one bounded slice of a catch-up suffix. Credits
+// for the whole chunk are acquired up front (off-lock); if the group's ring
+// changed identity before the locks were taken the credits belong to a dead
+// ring and the acquisition restarts.
+func (e *Engine) applyEventsChunk(group string, events []wire.Event) error {
+	for {
+		credits, ring, err := e.acquireFanoutCredits(group, len(events))
+		if err != nil {
+			return err
+		}
+		e.mu.RLock()
+		g, ok := e.reg.Get(group)
+		if !ok {
+			e.mu.RUnlock()
+			for ; credits > 0; credits-- {
+				ring.release()
+			}
+			return fmt.Errorf("%w: %q", membership.ErrNoSuchGroup, group)
+		}
+		grt := e.groups[group]
+		if e.fanout != nil && grt.ring != ring {
+			e.mu.RUnlock()
+			for ; credits > 0; credits-- {
+				ring.release()
+			}
+			continue
+		}
+		grt.mu.Lock()
+		st := e.getState(group)
+		used := 0
+		if st != nil {
+			for _, ev := range events {
+				if ev.Seq < st.NextSeq() {
+					continue
+				}
+				e.seqr.Observe(group, ev.Seq)
+				// applyAndFanout consumes one credit per call in
+				// sharded mode (push or release on its error paths).
+				e.applyAndFanout(group, g, grt, ev, true, nil)
+				used++
+			}
+		}
+		grt.mu.Unlock()
+		e.mu.RUnlock()
+		for ; credits > used; credits-- {
+			ring.release()
+		}
+		return nil
+	}
 }
 
 func (e *Engine) handleLockAcquire(s *Session, m *wire.LockAcquire) {

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"corona/internal/state"
 	"corona/internal/wal"
@@ -135,12 +134,12 @@ func (e *Engine) recover() error {
 			}
 			e.states[group] = state.NewInitial(initial)
 			e.lowLSN[group] = lsn
-			e.groupMus[group] = new(sync.Mutex)
+			e.ensureGroupRuntime(group)
 		case recDelete:
 			_ = e.reg.Delete(group, wire.MemberInfo{})
 			delete(e.states, group)
 			delete(e.lowLSN, group)
-			delete(e.groupMus, group)
+			delete(e.groups, group)
 			e.seqr.Drop(group)
 		case recEvent:
 			ev, err := decodeEventBody(d)
@@ -188,9 +187,7 @@ func (e *Engine) recover() error {
 			}
 			e.states[group] = st
 			e.lowLSN[group] = lsn
-			if _, ok := e.groupMus[group]; !ok {
-				e.groupMus[group] = new(sync.Mutex)
-			}
+			e.ensureGroupRuntime(group)
 		default:
 			return fmt.Errorf("core: unknown wal record tag %d at %d", tag, lsn)
 		}
@@ -219,13 +216,13 @@ func (e *Engine) finishRecover() {
 // walAppendFailed records a failed enqueue. Callers hold e.mu or a group
 // mutex, where blocking log I/O is forbidden (lockhold): the counter and
 // the lock-free trace ring carry the immediate signal, and the slog line
-// is emitted from its own goroutine, off the locked path. Failures of
-// records that did enqueue are logged directly by the commit callbacks,
+// is emitted from the bounded error reporter, off the locked path. Failures
+// of records that did enqueue are logged directly by the commit callbacks,
 // which run on the WAL committer goroutine.
 func (e *Engine) walAppendFailed(group, record string, err error) {
 	e.mWALErrors.Inc()
 	e.metrics.Event("wal", fmt.Sprintf("%s enqueue failed: group=%s: %v", record, group, err))
-	go e.log.Error("wal append failed", "group", group, "record", record, "err", err)
+	e.reporter.report("wal append failed: "+record, group, 0, err)
 }
 
 // persistEvent queues one applied event record of a persistent group for

@@ -31,13 +31,16 @@ func applyLocal(t *testing.T, e *Engine, group string, n int, data string) {
 	if !ok {
 		t.Fatal("group missing")
 	}
-	gmu := e.groupMus[group]
-	gmu.Lock()
-	defer gmu.Unlock()
+	grt := e.groups[group]
+	grt.mu.Lock()
+	defer grt.mu.Unlock()
 	for i := 0; i < n; i++ {
+		if e.fanout != nil && !grt.ring.tryAcquire() {
+			t.Fatal("fanout ring full")
+		}
 		ev := wire.Event{Kind: wire.EventUpdate, ObjectID: "o", Data: []byte(data)}
 		ev.Seq, ev.Time = e.seqr.Next(group)
-		e.applyAndFanout(group, g, ev, true, nil)
+		e.applyAndFanout(group, g, grt, ev, true, nil)
 	}
 }
 

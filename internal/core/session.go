@@ -99,6 +99,7 @@ func (e *Engine) removeMemberLocked(name string, clientID uint64, change wire.Me
 	if err != nil {
 		return
 	}
+	e.rebuildFanoutLocked(name)
 	e.notifySubscribersLocked(g2, change, info)
 	if e.cfg.Hooks.OnMembershipChange != nil {
 		e.cfg.Hooks.OnMembershipChange(name, change, info, g2.Size())
@@ -122,7 +123,14 @@ func (e *Engine) dropGroupLocked(name string) {
 // group's mutex.
 func (e *Engine) cleanupGroupLocked(name string) {
 	delete(e.states, name)
-	delete(e.groupMus, name)
+	if grt := e.groups[name]; grt != nil {
+		if grt.ring != nil {
+			// Wake senders blocked on the ring; they revalidate and
+			// observe the group gone.
+			grt.ring.close()
+		}
+		delete(e.groups, name)
+	}
 	e.lsnMu.Lock()
 	delete(e.lowLSN, name)
 	e.lsnMu.Unlock()
@@ -148,8 +156,27 @@ func (e *Engine) sendGrantsLocked(grants []locks.Grant) {
 // notifySubscribersLocked pushes a membership change to every subscribed
 // local member. Caller holds e.mu.
 func (e *Engine) notifySubscribersLocked(g *membership.Group, change wire.MembershipChange, member wire.MemberInfo) {
-	subs := g.Subscribers()
-	if len(subs) == 0 {
+	e.notifySubsLocked(g, change, member, 0)
+}
+
+// notifySubsLocked routes a membership notify to every subscribed local
+// member except one (0: no exception). Under the pipeline the notify rides
+// the fanout shards as a control entry: the caller holds e.mu in write mode,
+// which excludes every multicast, so the notify lands strictly between the
+// deliveries sequenced before and after the membership change — subscribers
+// observe notifies consistently ordered against the event stream. Inline
+// mode enqueues directly, which is already so ordered.
+func (e *Engine) notifySubsLocked(g *membership.Group, change wire.MembershipChange, member wire.MemberInfo, except uint64) {
+	var targets []fanoutTarget
+	for _, id := range g.Subscribers() {
+		if id == except {
+			continue
+		}
+		if s, ok := e.sessions[id]; ok {
+			targets = append(targets, fanoutTarget{id: id, sess: s})
+		}
+	}
+	if len(targets) == 0 {
 		return
 	}
 	frame := transport.NewSharedFrame(&wire.MembershipNotify{
@@ -158,11 +185,22 @@ func (e *Engine) notifySubscribersLocked(g *membership.Group, change wire.Member
 		Member: member,
 		Count:  uint32(g.Size()),
 	})
-	for _, id := range subs {
-		if s, ok := e.sessions[id]; ok {
-			frame.Retain()
-			s.sendShared(frame, false)
+	if e.fanout != nil {
+		ent := newFanoutEntry()
+		ent.frame = frame
+		ent.targets = targets
+		if e.fanout.push(ent) {
+			return
 		}
+		// Pool closing: fall through to direct sends (recycle without
+		// touching the frame or the caller's slice).
+		ent.frame = nil
+		ent.targets = nil
+		recycleFanoutEntry(ent)
+	}
+	for _, t := range targets {
+		frame.Retain()
+		t.sess.sendShared(frame, false)
 	}
 	frame.Release()
 }

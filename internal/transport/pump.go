@@ -163,6 +163,46 @@ func (p *Pump) SendSharedBatch(fs []*SharedFrame, high bool) error {
 	return nil
 }
 
+// SendSharedRun enqueues a run of pooled frames on one lane under a single
+// mutex acquisition, admitting the longest prefix that fits. It returns how
+// many frames were admitted; the pump owns one reference per admitted frame,
+// the caller keeps its references to the rest. Unlike SendSharedBatch the
+// run is torn at the overflow point rather than rejected whole — the fanout
+// pipeline uses it to deliver an ordered run where a partial prefix is
+// order-safe and the overflow fails the receiver anyway.
+func (p *Pump) SendSharedRun(fs []*SharedFrame, high bool) (int, error) {
+	if len(fs) == 0 {
+		return 0, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		if p.err != nil {
+			return 0, p.err
+		}
+		return 0, ErrPumpClosed
+	}
+	ch := p.ch
+	if high {
+		ch = p.hi
+	}
+	n := 0
+	for _, f := range fs {
+		select {
+		case ch <- pumpItem{shared: f}:
+			n++
+		default:
+			pumpStalls.Inc()
+			pumpEnqueued.Add(uint64(n))
+			pumpDepth.Add(int64(n))
+			return n, ErrPumpOverflow
+		}
+	}
+	pumpEnqueued.Add(uint64(n))
+	pumpDepth.Add(int64(n))
+	return n, nil
+}
+
 // SendMessage marshals msg into a pooled frame and enqueues it on the
 // normal lane. Use SendShared directly when writing the same message to
 // many pumps.

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"corona/internal/wire"
+)
+
+// TestSendSharedRunPartialAdmission pins the prefix-admission contract the
+// fanout pipeline depends on: against a full lane the run is torn at the
+// overflow point — the admitted prefix keeps its order, the caller keeps
+// ownership of the rest.
+func TestSendSharedRunPartialAdmission(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	const depth = 4
+	p := NewPump(NewConn(server), depth)
+	defer p.Close()
+
+	// Wedge the writer: a frame larger than the connection's write buffer
+	// blocks against the unread pipe, so nothing drains the normal lane.
+	if err := p.Send(make([]byte, 256<<10)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.mu.Lock()
+		taken := len(p.ch) == 0
+		p.mu.Unlock()
+		if taken {
+			break // the writer holds the big frame and is blocked mid-write
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the wedge frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	frames := make([]*SharedFrame, depth+2)
+	for i := range frames {
+		frames[i] = NewSharedFrame(&wire.Ping{Nonce: uint64(i)})
+	}
+	admitted, err := p.SendSharedRun(frames, false)
+	if admitted != depth {
+		t.Fatalf("admitted = %d, want %d", admitted, depth)
+	}
+	if !errors.Is(err, ErrPumpOverflow) {
+		t.Fatalf("err = %v, want ErrPumpOverflow", err)
+	}
+	// The caller keeps the unadmitted suffix.
+	for _, f := range frames[admitted:] {
+		f.Release()
+	}
+
+	// A closed pump admits nothing.
+	server.Close()
+	client.Close()
+	p.Close()
+	extra := NewSharedFrame(&wire.Ping{Nonce: 99})
+	admitted, err = p.SendSharedRun([]*SharedFrame{extra}, false)
+	if admitted != 0 || err == nil {
+		t.Fatalf("closed pump: admitted=%d err=%v", admitted, err)
+	}
+	extra.Release()
+}
+
+// TestSendSharedRunFullAdmission checks the happy path delivers every frame
+// in order.
+func TestSendSharedRunFullAdmission(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+
+	p := NewPump(NewConn(server), 16)
+	defer p.Close()
+
+	frames := make([]*SharedFrame, 3)
+	for i := range frames {
+		frames[i] = NewSharedFrame(&wire.Ping{Nonce: uint64(i + 1)})
+	}
+	admitted, err := p.SendSharedRun(frames, false)
+	if admitted != len(frames) || err != nil {
+		t.Fatalf("admitted=%d err=%v", admitted, err)
+	}
+
+	rc := NewConn(client)
+	for i := 1; i <= 3; i++ {
+		msg, err := rc.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ping, ok := msg.(*wire.Ping)
+		if !ok || ping.Nonce != uint64(i) {
+			t.Fatalf("frame %d: got %#v", i, msg)
+		}
+	}
+	client.Close()
+}

@@ -53,6 +53,12 @@ go run ./cmd/corona-bench -experiment table1 -duration 200ms >/dev/null
 echo "== multigroup smoke"
 go run ./cmd/corona-bench -experiment multigroup -groups 1,2 -per-group 1 -duration 200ms >/dev/null
 
+echo "== fanout smoke"
+# Short wide-group sweep: the off-lock sharded pipeline and the inline
+# baseline both deliver under a fanout wider than the shard count, so the
+# credit protocol, the COW snapshot, and run delivery run end to end.
+go run ./cmd/corona-bench -experiment fanout -fanout-members 8,32 -duration 200ms >/dev/null
+
 echo "== jointransfer smoke"
 go run ./cmd/corona-bench -experiment jointransfer -jt-sizes 1 -jt-joins 1 -duration 200ms >/dev/null
 
