@@ -92,12 +92,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // directives added, sorted by position. The returned error reports
 // analyzer failures, not findings.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAudited(prog, analyzers)
+	return diags, err
+}
+
+// RunAudited is Run plus a suppression audit: it also returns the
+// //lint:allow directives that suppressed no finding during this run.
+// Staleness is only meaningful when analyzers is the full suite — under a
+// partial run, a directive for an analyzer that never executed shows up
+// unused without being stale.
+func RunAudited(prog *Program, analyzers []*Analyzer) ([]Diagnostic, []AllowSite, error) {
 	sup := collectSuppressions(prog)
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Fset: prog.Fset, Pkgs: prog.Pkgs}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
 		}
 		for _, d := range pass.diags {
 			if !sup.allows(a.Name, d.Pos) {
@@ -116,5 +126,5 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
+	return out, sup.stale(), nil
 }

@@ -1,0 +1,15 @@
+// Package first is the imported half of the harness's multi-package
+// fixture.
+package first
+
+// Limit is used by the second fixture package, so a failure to load this
+// package dependencies-first breaks second's type check.
+const Limit = 8
+
+// FlagBase trips the toy analyzer in the imported package.
+func FlagBase() int { // want `flagged function FlagBase in package first`
+	return Limit
+}
+
+// quiet does not.
+func quiet() {}

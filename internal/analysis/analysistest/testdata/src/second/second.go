@@ -1,0 +1,10 @@
+// Package second imports its sibling fixture package: the golden run
+// checks expectations in both halves at once.
+package second
+
+import "first"
+
+// FlagUser trips the toy analyzer in the importing package.
+func FlagUser() int { // want `flagged function FlagUser in package second`
+	return first.FlagBase() + first.Limit
+}

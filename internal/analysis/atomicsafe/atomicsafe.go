@@ -1,0 +1,537 @@
+// Package atomicsafe checks that every shared field is accessed through
+// exactly one synchronization discipline.
+//
+// Two checks, one rule — a field's readers and writers must agree on how
+// the field is protected:
+//
+//  1. Mixed atomics. A field passed to the sync/atomic functions anywhere
+//     in the program must be accessed that way everywhere: a plain load
+//     or store of the same field races with the atomic operations, and
+//     the race detector only catches it when both sides actually collide
+//     under test. Every plain access of such a field is reported.
+//
+//  2. Guarded fields left unguarded. A field whose writes all happen
+//     under its owner's mutex is a mutex-guarded field; reading it
+//     without that mutex (or writing it on one sneaky path) observes
+//     torn or stale state. The guard is inferred, not declared: a write
+//     under a held `owner.mu` span pins the discipline, and every other
+//     access must either hold the same identity or sit in a function
+//     whose contract says the caller does — the repo-wide `...Locked`
+//     suffix and "Caller holds" doc conventions.
+//
+// The analysis is type-based like lockorder's: the guard of one
+// groupRuntime covers every groupRuntime. Constructors (New*, init) are
+// exempt — pre-publication writes need no lock. Fields that are
+// themselves synchronization values (sync.Mutex, sync.WaitGroup, typed
+// atomics) carry their own discipline and are skipped.
+package atomicsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"corona/internal/analysis"
+	"corona/internal/analysis/callgraph"
+	"corona/internal/analysis/lockid"
+)
+
+// Analyzer is the atomicsafe checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsafe",
+	Doc:  "flags fields mixing sync/atomic with plain access, and lock-free access to mutex-guarded fields",
+	Run:  run,
+}
+
+// scoped are the packages whose accesses are checked. Matches lockorder:
+// the invariant surface of the delivery pipeline.
+func scoped(name string) bool {
+	switch name {
+	case "core", "cluster", "transport", "placement":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		atomics:  map[*types.Var]bool{},
+		atomArgs: map[*ast.SelectorExpr]bool{},
+		accesses: map[*types.Var][]access{},
+		owners:   map[*types.Var]*types.Named{},
+	}
+	// Atomic-field discovery runs over the whole program: a helper package
+	// touching a core field atomically pins the field's discipline even if
+	// the helper itself is out of scope.
+	for _, pkg := range pass.Pkgs {
+		c.collectAtomics(pkg)
+	}
+	for _, pkg := range pass.Pkgs {
+		if !scoped(pkg.Name) {
+			continue
+		}
+		c.collectAccesses(pkg)
+	}
+	c.reportMixed()
+	c.reportUnguarded()
+	return nil
+}
+
+// access is one read or write of a struct field at a specific site.
+type access struct {
+	pos   token.Pos
+	write bool
+	// held is the owner-guard identity held at the site, "" if none.
+	held string
+	// contract marks sites inside functions whose name or doc promises
+	// the caller holds the guard (FooLocked, "Caller holds ...").
+	contract bool
+	// plainOfAtomic marks a non-atomic access of an atomic field.
+	atomic bool
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// atomics is every field passed by address to a sync/atomic function.
+	atomics map[*types.Var]bool
+	// atomArgs marks the selector nodes that ARE atomic accesses, so the
+	// plain-access sweep can skip them.
+	atomArgs map[*ast.SelectorExpr]bool
+	// accesses records every field access in scoped packages.
+	accesses map[*types.Var][]access
+	owners   map[*types.Var]*types.Named
+}
+
+// ---- check 1: atomic fields ----------------------------------------------
+
+// collectAtomics records fields whose address flows into sync/atomic
+// calls, and marks those argument positions as sanctioned.
+func (c *checker) collectAtomics(pkg *analysis.Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldOf(pkg, sel); v != nil {
+					c.atomics[v] = true
+					c.atomArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldOf resolves a selector to the struct field it denotes, with no
+// scoping: an atomic access anywhere pins the field's discipline.
+func fieldOf(pkg *analysis.Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(pkg *analysis.Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+func (c *checker) reportMixed() {
+	for v, accs := range c.accesses {
+		if !c.atomics[v] {
+			continue
+		}
+		id := lockid.FieldIdent(c.owners[v], v.Name())
+		for _, a := range accs {
+			if a.atomic {
+				continue
+			}
+			kind := "load"
+			if a.write {
+				kind = "store"
+			}
+			c.pass.Reportf(a.pos, "plain %s of %q, which is accessed with sync/atomic elsewhere: the two race", kind, id)
+		}
+	}
+}
+
+// ---- check 2: mutex-guarded fields ---------------------------------------
+
+func (c *checker) reportUnguarded() {
+	for v, accs := range c.accesses {
+		if c.atomics[v] {
+			continue // discipline is atomics, handled above
+		}
+		// The discipline is pinned by direct evidence: at least one write
+		// under a held owner guard. All such writes must agree on one
+		// guard identity; if they don't, the field has no single guard
+		// and is skipped.
+		guard := ""
+		conflicted := false
+		for _, a := range accs {
+			if a.write && a.held != "" {
+				if guard == "" {
+					guard = a.held
+				} else if guard != a.held {
+					conflicted = true
+				}
+			}
+		}
+		if guard == "" || conflicted {
+			continue
+		}
+		// A write outside the guard breaks the discipline outright and is
+		// the sharpest diagnostic; reads are only trustworthy once every
+		// write is covered.
+		plainWrite := false
+		for _, a := range accs {
+			if a.write && a.held == "" && !a.contract {
+				c.pass.Reportf(a.pos, "write to %q without %q, which guards every other write", lockid.FieldIdent(c.owners[v], v.Name()), guard)
+				plainWrite = true
+			}
+		}
+		if plainWrite {
+			continue
+		}
+		for _, a := range accs {
+			if !a.write && a.held == "" && !a.contract {
+				c.pass.Reportf(a.pos, "read of %q without %q, which guards every write to it", lockid.FieldIdent(c.owners[v], v.Name()), guard)
+			}
+		}
+	}
+}
+
+// ---- access collection ----------------------------------------------------
+
+// collectAccesses walks every function body tracking held guards and
+// records each field access with its protection context.
+func (c *checker) collectAccesses(pkg *analysis.Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isConstructor(fd) {
+				continue // pre-publication writes carry no discipline
+			}
+			w := &walker{checker: c, pkg: pkg, contract: hasContract(fd)}
+			w.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+}
+
+// isConstructor matches functions whose writes precede publication.
+func isConstructor(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init"
+}
+
+// hasContract reports whether the function declares that its caller holds
+// the relevant lock: the ...Locked naming convention or a "Caller holds"
+// doc line.
+func hasContract(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	return fd.Doc != nil && strings.Contains(fd.Doc.Text(), "aller holds")
+}
+
+// walker records accesses within one function body, maintaining the set
+// of held lock identities exactly as lockorder does.
+type walker struct {
+	*checker
+	pkg      *analysis.Package
+	contract bool
+}
+
+func (w *walker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if id, op, ok := lockid.Op(w.pkg, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[id] = true
+				case "Unlock", "RUnlock":
+					delete(held, id)
+				}
+				continue
+			}
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if lit, ok := call.Fun.(*ast.FuncLit); ok {
+					w.stmts(lit.Body.List, clone(held))
+					for _, a := range call.Args {
+						w.expr(a, held, false)
+					}
+					continue
+				}
+			}
+			w.expr(s.X, held, false)
+		case *ast.DeferStmt:
+			if _, op, ok := lockid.Op(w.pkg, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				continue
+			}
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				w.stmts(lit.Body.List, clone(held))
+			} else {
+				w.expr(s.Call, held, false)
+			}
+		case *ast.GoStmt:
+			// The goroutine body runs with no lock of this stack held.
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				w.goBody(lit, held)
+			}
+			for _, a := range s.Call.Args {
+				w.expr(a, held, false)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				w.writeTarget(lhs, held)
+			}
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				// Compound assignment also reads the target; the write
+				// record above covers the stricter requirement.
+			}
+			for _, rhs := range s.Rhs {
+				w.expr(rhs, held, false)
+			}
+		case *ast.IncDecStmt:
+			w.writeTarget(s.X, held)
+		case *ast.BlockStmt:
+			w.stmts(s.List, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				w.stmts([]ast.Stmt{s.Init}, held)
+			}
+			w.expr(s.Cond, held, false)
+			w.stmts(s.Body.List, clone(held))
+			if s.Else != nil {
+				w.stmts([]ast.Stmt{s.Else}, clone(held))
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				w.stmts([]ast.Stmt{s.Init}, held)
+			}
+			if s.Cond != nil {
+				w.expr(s.Cond, held, false)
+			}
+			inner := clone(held)
+			w.stmts(s.Body.List, inner)
+			if s.Post != nil {
+				w.stmts([]ast.Stmt{s.Post}, inner)
+			}
+		case *ast.RangeStmt:
+			w.expr(s.X, held, false)
+			w.stmts(s.Body.List, clone(held))
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				w.stmts([]ast.Stmt{s.Init}, held)
+			}
+			if s.Tag != nil {
+				w.expr(s.Tag, held, false)
+			}
+			for _, cc := range s.Body.List {
+				w.stmts(cc.(*ast.CaseClause).Body, clone(held))
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				w.stmts([]ast.Stmt{s.Init}, held)
+			}
+			for _, cc := range s.Body.List {
+				w.stmts(cc.(*ast.CaseClause).Body, clone(held))
+			}
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				w.stmts(cl.(*ast.CommClause).Body, clone(held))
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				w.expr(r, held, false)
+			}
+		case *ast.LabeledStmt:
+			w.stmts([]ast.Stmt{s.Stmt}, held)
+		case *ast.DeclStmt:
+			w.expr(s, held, false)
+		case *ast.SendStmt:
+			w.expr(s.Chan, held, false)
+			w.expr(s.Value, held, false)
+		}
+	}
+}
+
+// goBody walks a spawned goroutine: its own stack, empty held set, and no
+// contract — the caller's promises do not transfer across the spawn.
+func (w *walker) goBody(lit *ast.FuncLit, held map[string]bool) {
+	inner := &walker{checker: w.checker, pkg: w.pkg}
+	inner.stmts(lit.Body.List, map[string]bool{})
+}
+
+// writeTarget records a write access for an assignment target. Mutating
+// an element of a field-held map or slice (x.f[k] = v, delete(x.f, k))
+// counts as a write to the field: the race is the same.
+func (w *walker) writeTarget(lhs ast.Expr, held map[string]bool) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		w.record(lhs, held, true)
+		w.expr(lhs.X, held, false)
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(lhs.X).(*ast.SelectorExpr); ok {
+			w.record(sel, held, true)
+			w.expr(sel.X, held, false)
+		} else {
+			w.expr(lhs.X, held, false)
+		}
+		w.expr(lhs.Index, held, false)
+	case *ast.StarExpr:
+		w.expr(lhs.X, held, false)
+	default:
+		w.expr(lhs, held, false)
+	}
+}
+
+// expr records every field access in an expression subtree as reads,
+// except nodes handled elsewhere.
+func (w *walker) expr(n ast.Node, held map[string]bool, _ bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Reached here only when stored or passed: runs later, on an
+			// unknown stack.
+			w.goBody(n, held)
+			return false
+		case *ast.CallExpr:
+			// delete(x.f, k) mutates the map held by f.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if sel, ok := ast.Unparen(n.Args[0]).(*ast.SelectorExpr); ok {
+						w.record(sel, held, true)
+						w.expr(sel.X, held, false)
+						w.expr(n.Args[1], held, false)
+						return false
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if w.atomArgs[n] {
+				w.recordAtomic(n, held)
+				return false
+			}
+			w.record(n, held, false)
+			// Keep walking: the base of x.f.g is itself an access.
+		}
+		return true
+	})
+}
+
+// record notes one access of a struct field, if it is one worth tracking.
+func (w *walker) record(sel *ast.SelectorExpr, held map[string]bool, write bool) {
+	v, owner := w.trackedField(sel)
+	if v == nil {
+		return
+	}
+	w.owners[v] = owner
+	w.accesses[v] = append(w.accesses[v], access{
+		pos:      sel.Sel.Pos(),
+		write:    write,
+		held:     heldGuard(owner, held),
+		contract: w.contract,
+	})
+}
+
+// recordAtomic notes a sanctioned atomic access, so mixed-discipline
+// reporting sees the field even when the plain sites are elsewhere.
+func (w *walker) recordAtomic(sel *ast.SelectorExpr, held map[string]bool) {
+	v, owner := w.trackedField(sel)
+	if v == nil {
+		return
+	}
+	w.owners[v] = owner
+	w.accesses[v] = append(w.accesses[v], access{pos: sel.Sel.Pos(), atomic: true})
+}
+
+// trackedField resolves a selector to a struct field of a named type,
+// skipping fields that carry their own synchronization.
+func (w *walker) trackedField(sel *ast.SelectorExpr) (*types.Var, *types.Named) {
+	s, ok := w.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	owner, ok := callgraph.Deref(s.Recv()).(*types.Named)
+	if !ok || owner.Obj().Pkg() == nil || !scoped(owner.Obj().Pkg().Name()) {
+		return nil, nil
+	}
+	if selfSynced(v.Type()) {
+		return nil, nil
+	}
+	return v, owner
+}
+
+// selfSynced reports types that synchronize themselves: the sync package's
+// primitives and the typed atomics.
+func selfSynced(t types.Type) bool {
+	n, ok := callgraph.Deref(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+// heldGuard returns the identity of an owner mutex field currently held.
+func heldGuard(owner *types.Named, held map[string]bool) string {
+	st, ok := owner.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !lockid.IsMutex(f.Type()) {
+			continue
+		}
+		if id := lockid.FieldIdent(owner, f.Name()); held[id] {
+			return id
+		}
+	}
+	return ""
+}
+
+func clone(held map[string]bool) map[string]bool {
+	c := map[string]bool{}
+	for k := range held {
+		c[k] = true
+	}
+	return c
+}

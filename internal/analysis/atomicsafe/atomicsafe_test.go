@@ -1,0 +1,12 @@
+package atomicsafe_test
+
+import (
+	"testing"
+
+	"corona/internal/analysis/analysistest"
+	"corona/internal/analysis/atomicsafe"
+)
+
+func TestAtomicsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicsafe.Analyzer)
+}

@@ -1,0 +1,116 @@
+// Package core is the atomicsafe fixture: one struct whose counters are
+// atomics, one whose fields are guarded by its mutex, each exercised with
+// the discipline (silent) and against it (reported).
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// --- mixed atomic and plain access ---------------------------------------
+
+type Stats struct {
+	hits   int64
+	misses int64
+}
+
+// bump pins the discipline: hits is an atomic field.
+func (s *Stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// get reads it the same way: conforming.
+func (s *Stats) get() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// peek reads the atomic field with a plain load.
+func (s *Stats) peek() int64 {
+	return s.hits // want `plain load of "core\.Stats\.hits", which is accessed with sync/atomic elsewhere: the two race`
+}
+
+// reset stores over concurrent atomic adds.
+func (s *Stats) reset() {
+	s.hits = 0 // want `plain store of "core\.Stats\.hits", which is accessed with sync/atomic elsewhere: the two race`
+}
+
+// missed never touches atomics: plain access of misses carries no mixed
+// discipline and stays silent here (and has no mutex guard either).
+func (s *Stats) missed() int64 {
+	s.misses++
+	return s.misses
+}
+
+// --- mutex-guarded fields --------------------------------------------------
+
+type Group struct {
+	mu      sync.Mutex
+	members map[string]bool
+	size    int
+}
+
+// NewGroup writes pre-publication: constructors carry no discipline.
+func NewGroup() *Group {
+	g := &Group{members: map[string]bool{}}
+	g.size = 0
+	return g
+}
+
+// Add pins both fields to g.mu: element writes count as field writes.
+func (g *Group) Add(m string) {
+	g.mu.Lock()
+	g.members[m] = true
+	g.size++
+	g.mu.Unlock()
+}
+
+// Remove deletes under the same guard.
+func (g *Group) Remove(m string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.members, m)
+	g.size--
+}
+
+// Size reads under the guard: conforming.
+func (g *Group) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.size
+}
+
+// hasLocked relies on the naming contract: the caller holds g.mu.
+func (g *Group) hasLocked(m string) bool {
+	return g.members[m]
+}
+
+// snapshot documents the contract instead. Caller holds g.mu.
+func (g *Group) snapshot() []string {
+	out := make([]string, 0, len(g.members))
+	for m := range g.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Peek reads the guarded member set with no lock and no contract.
+func (g *Group) Peek() int {
+	return len(g.members) // want `read of "core\.Group\.members" without "core\.Group\.mu", which guards every write to it`
+}
+
+// bg spawns a goroutine under the lock: the spawned body runs on its own
+// stack without it, so its read is bare.
+func (g *Group) bg(sink chan<- int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		sink <- len(g.members) // want `read of "core\.Group\.members" without "core\.Group\.mu", which guards every write to it`
+	}()
+}
+
+// racyReset writes size on a path that skips the guard every other write
+// uses.
+func (g *Group) racyReset() {
+	g.size = 0 // want `write to "core\.Group\.size" without "core\.Group\.mu", which guards every other write`
+}

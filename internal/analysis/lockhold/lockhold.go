@@ -17,12 +17,16 @@
 // span or anywhere in the static call graph below it. Calls through
 // interfaces are resolved against every implementation in the analyzed
 // program, so a committer hidden behind an interface is not a blind spot;
-// calls through plain function values (e.g. the engine's Hooks fields,
-// documented must-not-block) are the one acknowledged hole.
+// calls through stored func-typed fields (the engine's Hooks) resolve
+// against every function value the program assigns to the field, and
+// deferred closures are traversed — they run on the caller's stack before
+// the function returns, i.e. still under any lock the caller holds. Calls
+// through plain func-typed locals remain the one acknowledged hole (see
+// internal/analysis/callgraph).
 //
 // Nested sync.Mutex acquisition is deliberately not "blocking": short
 // nested critical sections (seq, obs, the WAL's pending queue) are part
-// of the design, and lock-ordering is a different analyzer's job.
+// of the design, and lock-ordering is lockorder's job.
 package lockhold
 
 import (
@@ -33,6 +37,7 @@ import (
 	"strings"
 
 	"corona/internal/analysis"
+	"corona/internal/analysis/callgraph"
 )
 
 // Analyzer is the lockhold checker.
@@ -62,21 +67,14 @@ func run(pass *analysis.Pass) error {
 
 // checker owns the whole-program call-graph state.
 type checker struct {
-	pass *analysis.Pass
-	// bodies maps every function declared in the analyzed program to its
-	// body and owning package.
-	bodies map[*types.Func]*funcBody
-	// reasons memoizes blocking classification per function.
-	reasons map[*types.Func]*reason
-	state   map[*types.Func]int // 0 unvisited, 1 visiting, 2 done
-	// named lists every named type of the program, for resolving
-	// interface method calls to their implementations.
-	named []*types.Named
-}
-
-type funcBody struct {
-	pkg  *analysis.Package
-	decl *ast.FuncDecl
+	pass  *analysis.Pass
+	graph *callgraph.Graph
+	// reasons/litReasons memoize blocking classification per function and
+	// per stored function literal.
+	reasons    map[*types.Func]*reason
+	state      map[*types.Func]int // 0 unvisited, 1 visiting, 2 done
+	litReasons map[*ast.FuncLit]*reason
+	litState   map[*ast.FuncLit]int
 }
 
 // reason explains why a function (or operation) blocks. A nil *reason
@@ -94,34 +92,14 @@ func (r *reason) String() string {
 }
 
 func newChecker(pass *analysis.Pass) *checker {
-	c := &checker{
-		pass:    pass,
-		bodies:  map[*types.Func]*funcBody{},
-		reasons: map[*types.Func]*reason{},
-		state:   map[*types.Func]int{},
+	return &checker{
+		pass:       pass,
+		graph:      callgraph.New(pass.Pkgs),
+		reasons:    map[*types.Func]*reason{},
+		state:      map[*types.Func]int{},
+		litReasons: map[*ast.FuncLit]*reason{},
+		litState:   map[*ast.FuncLit]int{},
 	}
-	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					c.bodies[fn] = &funcBody{pkg: pkg, decl: fd}
-				}
-			}
-		}
-		scope := pkg.Types.Scope()
-		for _, name := range scope.Names() {
-			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
-				if n, ok := tn.Type().(*types.Named); ok {
-					c.named = append(c.named, n)
-				}
-			}
-		}
-	}
-	return c
 }
 
 // ---- lock-span walking -------------------------------------------------
@@ -371,73 +349,46 @@ func (c *checker) callReason(pkg *analysis.Package, call *ast.CallExpr) *reason 
 	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
 		return nil
 	}
-	for _, callee := range c.callees(pkg, call) {
-		if r := c.funcReason(callee); r != nil {
+	for _, callee := range c.graph.Callees(pkg, call) {
+		if r := c.targetReason(callee); r != nil {
 			return c.chained(callee, r)
 		}
 	}
 	return nil
 }
 
-// chained prefixes callee to r's call chain — unless the callee is itself
-// the root blocking operation (an unanalyzed function classified by the
-// blocklist), where a "via" chain would just repeat its name.
-func (c *checker) chained(callee *types.Func, r *reason) *reason {
-	if _, analyzed := c.bodies[callee]; !analyzed && len(r.chain) == 0 {
+// chained prefixes the callee to r's call chain — unless the callee is
+// itself the root blocking operation (an unanalyzed function classified by
+// the blocklist), where a "via" chain would just repeat its name.
+func (c *checker) chained(callee callgraph.Target, r *reason) *reason {
+	if callee.Fn != nil {
+		if _, analyzed := c.graph.Bodies[callee.Fn]; !analyzed && len(r.chain) == 0 {
+			return r
+		}
+	}
+	return &reason{desc: r.desc, chain: append([]string{callee.Name()}, r.chain...)}
+}
+
+// targetReason classifies one call target: nil means not blocking.
+func (c *checker) targetReason(t callgraph.Target) *reason {
+	if t.Lit != nil {
+		return c.litReason(t.Lit, t.Pkg)
+	}
+	return c.funcReason(t.Fn)
+}
+
+// litReason classifies a stored function literal by its body.
+func (c *checker) litReason(lit *ast.FuncLit, pkg *analysis.Package) *reason {
+	if r, ok := c.litReasons[lit]; ok && c.litState[lit] == 2 {
 		return r
 	}
-	return &reason{desc: r.desc, chain: append([]string{funcName(callee)}, r.chain...)}
-}
-
-// callees resolves a call to the functions it may invoke: one for a
-// static call, every analyzed implementation for an interface method
-// call, none for calls through plain function values.
-func (c *checker) callees(pkg *analysis.Package, call *ast.CallExpr) []*types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
-			return []*types.Func{fn}
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := pkg.Info.Selections[fun]; ok {
-			fn, ok := sel.Obj().(*types.Func)
-			if !ok {
-				return nil // function-typed field: cannot resolve
-			}
-			if sel.Kind() == types.MethodVal && types.IsInterface(derefType(sel.Recv())) {
-				return c.implementations(derefType(sel.Recv()).Underlying().(*types.Interface), fn)
-			}
-			return []*types.Func{fn}
-		}
-		// Package-qualified call (fmt.Println).
-		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
-			return []*types.Func{fn}
-		}
+	if c.litState[lit] == 1 {
+		return nil
 	}
-	return nil
-}
-
-// implementations returns the concrete methods the interface method m may
-// dispatch to: for every named type of the analyzed program implementing
-// iface, the method with m's name. The interface method itself is kept as
-// a candidate so stdlib interfaces (io.Writer, net.Conn) classify by
-// name even with no analyzed implementation.
-func (c *checker) implementations(iface *types.Interface, m *types.Func) []*types.Func {
-	out := []*types.Func{m}
-	for _, n := range c.named {
-		if types.IsInterface(n) {
-			continue
-		}
-		ptr := types.NewPointer(n)
-		if !types.Implements(n, iface) && !types.Implements(ptr, iface) {
-			continue
-		}
-		obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
-		if fn, ok := obj.(*types.Func); ok {
-			out = append(out, fn)
-		}
-	}
-	return out
+	c.litState[lit] = 1
+	r := c.bodyReason(pkg, lit.Body)
+	c.litReasons[lit], c.litState[lit] = r, 2
+	return r
 }
 
 // funcReason classifies one function: nil means not blocking. Analyzed
@@ -452,22 +403,24 @@ func (c *checker) funcReason(fn *types.Func) *reason {
 		// blocking op inside it is still found on the first visit).
 		return nil
 	}
-	body, analyzed := c.bodies[fn]
+	body, analyzed := c.graph.Bodies[fn]
 	if !analyzed {
 		r := stdBlocking(fn)
 		c.reasons[fn], c.state[fn] = r, 2
 		return r
 	}
 	c.state[fn] = 1
-	r := c.bodyReason(body)
+	r := c.bodyReason(body.Pkg, body.Decl.Body)
 	c.reasons[fn], c.state[fn] = r, 2
 	return r
 }
 
 // bodyReason finds the first blocking operation in an analyzed function
-// body. Goroutine launches and non-invoked function literals are skipped:
-// their bodies do not run on the caller's stack.
-func (c *checker) bodyReason(b *funcBody) *reason {
+// body. Goroutine launches and non-invoked function literals are skipped —
+// their bodies do not run on the caller's stack — with one exception: a
+// deferred closure runs on this stack before the function returns, so its
+// body is traversed like any other statement.
+func (c *checker) bodyReason(pkg *analysis.Package, body *ast.BlockStmt) *reason {
 	var found *reason
 	var walk func(n ast.Node) bool
 	walk = func(n ast.Node) bool {
@@ -480,6 +433,17 @@ func (c *checker) bodyReason(b *funcBody) *reason {
 				ast.Inspect(a, walk)
 			}
 			return false
+		case *ast.DeferStmt:
+			// The deferred call runs before this function returns — on the
+			// caller's stack, under any lock the caller holds.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, walk)
+				for _, a := range n.Call.Args {
+					ast.Inspect(a, walk)
+				}
+				return false
+			}
+			return true // plain deferred call: classified via its CallExpr
 		case *ast.FuncLit:
 			return false
 		case *ast.SelectStmt:
@@ -502,7 +466,7 @@ func (c *checker) bodyReason(b *funcBody) *reason {
 				return false
 			}
 		case *ast.RangeStmt:
-			if isChan(b.pkg.Info, n.X) {
+			if isChan(pkg.Info, n.X) {
 				found = &reason{desc: "range over channel"}
 				return false
 			}
@@ -514,11 +478,11 @@ func (c *checker) bodyReason(b *funcBody) *reason {
 				}
 				return false
 			}
-			if tv, ok := b.pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+			if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() {
 				return true
 			}
-			for _, callee := range c.callees(b.pkg, n) {
-				if r := c.funcReason(callee); r != nil {
+			for _, callee := range c.graph.Callees(pkg, n) {
+				if r := c.targetReason(callee); r != nil {
 					found = c.chained(callee, r)
 					return false
 				}
@@ -526,7 +490,7 @@ func (c *checker) bodyReason(b *funcBody) *reason {
 		}
 		return true
 	}
-	ast.Inspect(b.decl.Body, walk)
+	ast.Inspect(body, walk)
 	return found
 }
 
@@ -539,7 +503,7 @@ func stdBlocking(fn *types.Func) *reason {
 	}
 	path, name := pkg.Path(), fn.Name()
 	mk := func(kind string) *reason {
-		return &reason{desc: fmt.Sprintf("%s [%s]", funcName(fn), kind)}
+		return &reason{desc: fmt.Sprintf("%s [%s]", callgraph.FuncName(fn), kind)}
 	}
 	switch path {
 	case "time":
@@ -629,7 +593,7 @@ func mutexOp(info *types.Info, e ast.Expr) (key, op string, ok bool) {
 	if !ok {
 		return "", "", false
 	}
-	recv := derefType(s.Recv())
+	recv := callgraph.Deref(s.Recv())
 	n, ok := recv.(*types.Named)
 	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
 		return "", "", false
@@ -639,13 +603,6 @@ func mutexOp(info *types.Info, e ast.Expr) (key, op string, ok bool) {
 		return types.ExprString(sel.X), sel.Sel.Name, true
 	}
 	return "", "", false
-}
-
-func derefType(t types.Type) types.Type {
-	if p, ok := t.Underlying().(*types.Pointer); ok {
-		return p.Elem()
-	}
-	return t
 }
 
 func isChan(info *types.Info, e ast.Expr) bool {
@@ -664,15 +621,4 @@ func hasDefault(s *ast.SelectStmt) bool {
 		}
 	}
 	return false
-}
-
-func funcName(fn *types.Func) string {
-	sig, _ := fn.Type().(*types.Signature)
-	if sig != nil && sig.Recv() != nil {
-		return fmt.Sprintf("(%s).%s", types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())), fn.Name())
-	}
-	if fn.Pkg() != nil {
-		return fn.Pkg().Name() + "." + fn.Name()
-	}
-	return fn.Name()
 }

@@ -1,0 +1,92 @@
+// Stored func-typed fields and deferred closures: the two call-graph
+// holes closed after the fanout PRs. A blocking operation behind a
+// Hooks-style field, or inside a defer func(){...}() that runs on the
+// caller's stack, must be reported like any direct call.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type HookSet struct {
+	Forward  func(data []byte)
+	OnChange func(n int)
+}
+
+type Hooked struct {
+	mu    sync.RWMutex
+	hooks HookSet
+	ch    chan int
+}
+
+func NewHooked(h *Hooked) {
+	// Field values assigned here are the dispatch set for hooks.Forward
+	// everywhere in the program.
+	h.hooks.Forward = func(data []byte) {
+		<-h.ch // blocks when invoked
+	}
+	h.hooks = HookSet{
+		OnChange: h.notifyPeer,
+	}
+}
+
+func (h *Hooked) notifyPeer(n int) {
+	time.Sleep(time.Duration(n))
+}
+
+// --- calls through stored func-typed fields ------------------------------
+
+func (h *Hooked) forwardUnderLock(data []byte) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	h.hooks.Forward(data) // want `channel receive \(via func literal\) while "h\.mu" is held`
+}
+
+func (h *Hooked) changeUnderLock() {
+	h.mu.Lock()
+	h.hooks.OnChange(1) // want `time\.Sleep \[sleep\] \(via \(\*Hooked\)\.notifyPeer\) while "h\.mu" is held`
+	h.mu.Unlock()
+	h.hooks.OnChange(2) // after release: fine
+}
+
+// --- deferred closures ---------------------------------------------------
+
+// A closure deferred after the deferred unlock runs before it (LIFO),
+// i.e. with the lock still held.
+func (h *Hooked) deferredClosure() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	defer func() {
+		fmt.Println("held") // want `fmt\.Println \[I/O\] deferred while "h\.mu" is held \(runs before the deferred unlock\)`
+	}()
+}
+
+// A deferred closure inside a callee runs on this stack before the callee
+// returns — still under the caller's lock.
+func (h *Hooked) viaCalleeDefer() {
+	h.mu.Lock()
+	h.flushOnExit() // want `channel receive \(via \(\*Hooked\)\.flushOnExit\) while "h\.mu" is held`
+	h.mu.Unlock()
+}
+
+func (h *Hooked) flushOnExit() {
+	defer func() {
+		<-h.ch
+	}()
+}
+
+// A goroutine launched by the callee stays exempt even when its body is a
+// closure: it runs off this stack.
+func (h *Hooked) viaCalleeGo() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.spawn() // goroutine body does not run under the lock: fine
+}
+
+func (h *Hooked) spawn() {
+	go func() {
+		<-h.ch
+	}()
+}

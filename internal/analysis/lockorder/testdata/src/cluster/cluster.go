@@ -1,0 +1,36 @@
+// Package cluster is the equal-rank half of the lockorder fixture: the
+// server and coordinator mutexes share a tier, so nesting either inside
+// the other is unordered and reported.
+package cluster
+
+import "sync"
+
+type Server struct {
+	mu    sync.Mutex
+	peers int
+}
+
+type Coordinator struct {
+	mu     sync.Mutex
+	leader int
+}
+
+// handoff releases the server mutex before taking the coordinator's:
+// sequential same-tier sections are fine.
+func handoff(s *Server, c *Coordinator) {
+	s.mu.Lock()
+	s.peers++
+	s.mu.Unlock()
+	c.mu.Lock()
+	c.leader = s.peers
+	c.mu.Unlock()
+}
+
+// tangle nests the coordinator mutex inside the server's: both sit at
+// rank 44, so neither order is sanctioned and the nesting is reported.
+func tangle(s *Server, c *Coordinator) {
+	s.mu.Lock()
+	c.mu.Lock() // want `cluster\.Coordinator\.mu acquired while "cluster\.Server\.mu" is held: inverts the sanctioned order \(rank 44 ≤ 44\)`
+	c.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+// Package core is the lockorder fixture: the engine tiers of the
+// sanctioned hierarchy, exercised in order (silent) and against it
+// (reported), directly and through the call graph. The pump comes from
+// the sibling transport fixture so the golden run crosses packages.
+package core
+
+import (
+	"sync"
+
+	"transport"
+)
+
+type Engine struct {
+	mu     sync.RWMutex
+	groups map[string]*groupRuntime
+}
+
+type groupRuntime struct {
+	mu    sync.Mutex
+	shard *fanoutShard
+}
+
+type fanoutShard struct {
+	mu sync.Mutex
+	q  []int
+}
+
+// --- conforming: strictly descending acquisitions ------------------------
+
+// Deliver walks the full sanctioned chain: registry read lock, group
+// mutex, shard intake, then the pump after everything is dropped.
+func (e *Engine) Deliver(g *groupRuntime, p *transport.Pump) {
+	e.mu.RLock()
+	g.mu.Lock()
+	g.shard.mu.Lock()
+	g.shard.q = append(g.shard.q, 1)
+	g.shard.mu.Unlock()
+	g.mu.Unlock()
+	e.mu.RUnlock()
+	p.Send(1)
+}
+
+// drain holds the shard lock across a pump send: rank 50 under rank 40,
+// descending, sanctioned.
+func (s *fanoutShard) drain(p *transport.Pump) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.Send(2)
+}
+
+// spawn hands lower-tier work to a goroutine: the spawned body is its own
+// execution root, so its acquisition is no edge under the shard lock.
+func (s *fanoutShard) spawn(e *Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		e.mu.RLock()
+		e.mu.RUnlock()
+	}()
+}
+
+// sequenced reacquires the registry lock after releasing it: two disjoint
+// spans, no nesting.
+func (e *Engine) sequenced() {
+	e.mu.RLock()
+	e.mu.RUnlock()
+	e.mu.RLock()
+	e.mu.RUnlock()
+}
+
+// --- inversions -----------------------------------------------------------
+
+// intakeBack takes the group mutex under the shard lock: the delivery
+// path holds them the other way around.
+func (s *fanoutShard) intakeBack(g *groupRuntime) {
+	s.mu.Lock()
+	g.mu.Lock() // want `core\.groupRuntime\.mu acquired while "core\.fanoutShard\.mu" is held: inverts the sanctioned order \(rank 30 ≤ 40\)`
+	g.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// registry briefly holds the engine registry lock.
+func (e *Engine) registry() {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// escalate reaches the registry lock through a call while holding a group
+// mutex: the inversion is transitive, witnessed by the chain.
+func (g *groupRuntime) escalate(e *Engine) {
+	g.mu.Lock()
+	e.registry() // want `core\.Engine\.mu \(via \(\*Engine\)\.registry\) acquired while "core\.groupRuntime\.mu" is held: inverts the sanctioned order \(rank 20 ≤ 30\)`
+	g.mu.Unlock()
+}
+
+// deferredEscalate schedules the same inversion in a deferred closure,
+// which runs on this stack before the deferred unlock releases the group
+// mutex.
+func (g *groupRuntime) deferredEscalate(e *Engine) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	defer func() {
+		e.registry() // want `core\.Engine\.mu \(via \(\*Engine\)\.registry\) acquired while "core\.groupRuntime\.mu" is held: inverts the sanctioned order \(rank 20 ≤ 30\)`
+	}()
+	g.shard.q = nil
+}
+
+// --- same-mutex re-entry --------------------------------------------------
+
+// doubleRead nests a read lock inside a read lock: a writer queued
+// between the two deadlocks both.
+func (e *Engine) doubleRead() {
+	e.mu.RLock()
+	e.mu.RLock() // want `core\.Engine\.mu re-enters "core\.Engine\.mu", already held`
+	e.mu.RUnlock()
+	e.mu.RUnlock()
+}
+
+// snapshot holds the registry read lock for its own extent.
+func (e *Engine) snapshot() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.groups)
+}
+
+// reenter calls back into a locking method while already holding the same
+// identity.
+func (e *Engine) reenter() {
+	e.mu.RLock()
+	e.snapshot() // want `core\.Engine\.mu \(via \(\*Engine\)\.snapshot\) re-enters "core\.Engine\.mu", already held`
+	e.mu.RUnlock()
+}

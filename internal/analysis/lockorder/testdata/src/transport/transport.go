@@ -1,0 +1,19 @@
+// Package transport is the pump half of the lockorder fixture. Pump.mu
+// resolves to identity transport.Pump.mu, the bottom-most ranked tier, so
+// the core fixture can exercise acquisitions above and below it.
+package transport
+
+import "sync"
+
+type Pump struct {
+	mu sync.Mutex
+	q  []int
+}
+
+// Send enqueues under the pump mutex: the bottom of the hierarchy, legal
+// under every engine-side lock.
+func (p *Pump) Send(v int) {
+	p.mu.Lock()
+	p.q = append(p.q, v)
+	p.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package refsafe_test
+
+import (
+	"testing"
+
+	"corona/internal/analysis/analysistest"
+	"corona/internal/analysis/refsafe"
+)
+
+func TestRefsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", refsafe.Analyzer)
+}

@@ -16,10 +16,14 @@ import (
 // directive is reported as a finding in its own right.
 const allowPrefix = "lint:allow"
 
-// allowDirective is one parsed //lint:allow comment.
+// allowDirective is one parsed //lint:allow comment. A directive is
+// shared between the lines it covers, so suppressing a finding on either
+// line marks the one directive used.
 type allowDirective struct {
 	analyzers []string
 	reason    string
+	pos       token.Position
+	used      bool
 }
 
 // parseAllow parses the text of one comment (with or without the leading
@@ -87,16 +91,18 @@ func Allows(prog *Program) []AllowSite {
 // suppressions indexes every well-formed directive by the lines it
 // covers, and retains malformed ones as diagnostics.
 type suppressions struct {
-	byLine    map[string]map[int][]allowDirective
+	byLine    map[string]map[int][]*allowDirective
+	all       []*allowDirective
 	malformed []Diagnostic
 }
 
 // allows reports whether a finding by the named analyzer at pos is
-// covered by a directive.
+// covered by a directive, marking the covering directive used.
 func (s *suppressions) allows(analyzer string, pos token.Position) bool {
 	for _, d := range s.byLine[pos.Filename][pos.Line] {
 		for _, a := range d.analyzers {
 			if a == analyzer {
+				d.used = true
 				return true
 			}
 		}
@@ -104,12 +110,25 @@ func (s *suppressions) allows(analyzer string, pos token.Position) bool {
 	return false
 }
 
+// stale lists the directives that suppressed nothing, as AllowSites. Only
+// meaningful after a run of the full analyzer suite: under a partial run
+// a directive for an analyzer that never executed is unused, not stale.
+func (s *suppressions) stale() []AllowSite {
+	var out []AllowSite
+	for _, d := range s.all {
+		if !d.used {
+			out = append(out, AllowSite{Pos: d.pos, Analyzers: d.analyzers, Reason: d.reason})
+		}
+	}
+	return out
+}
+
 // collectSuppressions scans every comment of the program. A directive
 // covers its own line; a directive that is alone on its line (only
 // whitespace before it) also covers the following line, so it can sit
 // above the statement it excuses.
 func collectSuppressions(prog *Program) *suppressions {
-	s := &suppressions{byLine: map[string]map[int][]allowDirective{}}
+	s := &suppressions{byLine: map[string]map[int][]*allowDirective{}}
 	lineCache := map[string][]string{}
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
@@ -128,9 +147,12 @@ func collectSuppressions(prog *Program) *suppressions {
 						})
 						continue
 					}
-					cover(s, pos.Filename, pos.Line, d)
+					d.pos = pos
+					dp := &d
+					s.all = append(s.all, dp)
+					cover(s, pos.Filename, pos.Line, dp)
 					if standalone(lineCache, pos) {
-						cover(s, pos.Filename, pos.Line+1, d)
+						cover(s, pos.Filename, pos.Line+1, dp)
 					}
 				}
 			}
@@ -139,10 +161,10 @@ func collectSuppressions(prog *Program) *suppressions {
 	return s
 }
 
-func cover(s *suppressions, file string, line int, d allowDirective) {
+func cover(s *suppressions, file string, line int, d *allowDirective) {
 	m := s.byLine[file]
 	if m == nil {
-		m = map[int][]allowDirective{}
+		m = map[int][]*allowDirective{}
 		s.byLine[file] = m
 	}
 	m[line] = append(m[line], d)

@@ -40,13 +40,20 @@ func TestParseAllow(t *testing.T) {
 }
 
 func TestSuppressionCoverage(t *testing.T) {
-	s := &suppressions{byLine: map[string]map[int][]allowDirective{}}
-	d := allowDirective{analyzers: []string{"lockhold"}, reason: "r"}
+	s := &suppressions{byLine: map[string]map[int][]*allowDirective{}}
+	d := &allowDirective{analyzers: []string{"lockhold"}, reason: "r"}
+	s.all = append(s.all, d)
 	cover(s, "f.go", 10, d)
 
 	pos := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	if len(s.stale()) != 1 {
+		t.Error("directive that suppressed nothing yet is not stale")
+	}
 	if !s.allows("lockhold", pos(10)) {
 		t.Error("directive does not cover its own line")
+	}
+	if len(s.stale()) != 0 {
+		t.Error("directive stayed stale after suppressing a finding")
 	}
 	if s.allows("lockhold", pos(11)) {
 		t.Error("inline directive must not leak to the next line")

@@ -278,12 +278,12 @@ func (s *Server) connectCoordinator(addr string) error {
 	}
 
 	s.mu.Lock()
-	if ack.Epoch < s.epoch {
+	if cur := s.epoch; ack.Epoch < cur {
 		// A stale incumbent (e.g. the old coordinator back from a
 		// partition) must not reclaim this server.
 		s.mu.Unlock()
 		conn.Close()
-		return fmt.Errorf("cluster: stale coordinator epoch %d < %d", ack.Epoch, s.epoch)
+		return fmt.Errorf("cluster: stale coordinator epoch %d < %d", ack.Epoch, cur)
 	}
 	if s.closed {
 		s.mu.Unlock()
@@ -362,7 +362,11 @@ func (s *Server) sendToCoordinator(msg wire.Message) bool {
 	}
 	if err := pump.SendMessage(msg); err != nil {
 		if link != nil {
-			_ = link.Close()
+			// Tear the link down off this stack: sendToCoordinator runs
+			// under e.mu when invoked through the engine's Forward and
+			// membership hooks, and a socket close is network I/O. The
+			// linkLoop observes the close as a read error and reconnects.
+			go func() { _ = link.Close() }()
 		}
 		return false
 	}

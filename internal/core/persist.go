@@ -133,12 +133,14 @@ func (e *Engine) recover() error {
 				return err
 			}
 			e.states[group] = state.NewInitial(initial)
-			e.lowLSN[group] = lsn
+			e.setLowLSN(group, lsn)
 			e.ensureGroupRuntime(group)
 		case recDelete:
 			_ = e.reg.Delete(group, wire.MemberInfo{})
 			delete(e.states, group)
+			e.lsnMu.Lock()
 			delete(e.lowLSN, group)
+			e.lsnMu.Unlock()
 			delete(e.groups, group)
 			e.seqr.Drop(group)
 		case recEvent:
@@ -186,7 +188,7 @@ func (e *Engine) recover() error {
 				}
 			}
 			e.states[group] = st
-			e.lowLSN[group] = lsn
+			e.setLowLSN(group, lsn)
 			e.ensureGroupRuntime(group)
 		default:
 			return fmt.Errorf("core: unknown wal record tag %d at %d", tag, lsn)

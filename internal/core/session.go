@@ -240,6 +240,8 @@ func (s *Session) send(msg wire.Message) { s.Send(msg) }
 // sendShared enqueues a pooled frame, consuming one of its references even
 // on failure. A closed pump is a no-op: deferred WAL acknowledgements can
 // race session teardown, and "client already gone" is not a new failure.
+//
+//corona:owns f
 func (s *Session) sendShared(f *transport.SharedFrame, high bool) {
 	if err := s.pump.SendShared(f, high); err != nil {
 		f.Release()
@@ -254,6 +256,8 @@ func (s *Session) sendShared(f *transport.SharedFrame, high bool) {
 // acquisition, consuming one reference per frame even on failure. Same
 // failure semantics as sendShared: a closed pump is a quiet no-op, any
 // other error fails the session off this goroutine.
+//
+//corona:owns fs
 func (s *Session) sendSharedBatch(fs []*transport.SharedFrame, high bool) {
 	if len(fs) == 0 {
 		return
