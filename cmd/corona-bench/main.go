@@ -39,7 +39,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("corona-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | multigroup | fanout | jointransfer | logreduction | relaxed | qos | placement | all")
+		experiment = fs.String("experiment", "all", "fig3 | sizesweep | table1 | table2 | multigroup | fanout | jointransfer | logreduction | relaxed | qos | placement | chaos | all")
 		full       = fs.Bool("full", false, "paper-scale parameters (slow: hundreds of clients, 600 messages per point)")
 		messages   = fs.Int("messages", 0, "timed messages per point (0 = experiment default)")
 		msgSize    = fs.Int("size", 1000, "multicast payload bytes for latency experiments")
@@ -55,6 +55,7 @@ func run(args []string) error {
 		plStateMiB = fs.Int("pl-state", 0, "group state size in MiB for the placement migration (0 = default 8)")
 		plGroups   = fs.Int("pl-groups", 0, "groups for the placement convergence experiment (0 = default 8)")
 		foMembers  = fs.String("fanout-members", "", "comma-separated group sizes for the fanout sweep (default 8,64,256,1024)")
+		chSeed     = fs.Int64("seed", 0, "single chaos seed for -experiment chaos (0 = the default seed set)")
 	)
 	var jsonOut jsonDir
 	fs.Var(&jsonOut, "json", "also write BENCH_<experiment>.json (bare: current directory; -json=dir: that directory)")
@@ -256,6 +257,27 @@ func run(args []string) error {
 			bench.PrintPlacement(os.Stdout, res)
 			params = map[string]any{"state_bytes": res.StateBytes, "groups": res.Groups, "servers": res.Servers}
 			result = res
+		case "chaos":
+			cfg := bench.ChaosBenchConfig{Dir: dir + "/chaos"}
+			if *chSeed != 0 {
+				cfg.Seeds = []int64{*chSeed}
+			}
+			rows, err := bench.RunChaos(cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintChaos(os.Stdout, rows)
+			seeds := make([]int64, 0, len(rows))
+			clean := true
+			for _, row := range rows {
+				seeds = append(seeds, row.Report.Seed)
+				clean = clean && row.Report.Ok()
+			}
+			if !clean {
+				return fmt.Errorf("chaos: audit failures (see table)")
+			}
+			params = map[string]any{"seeds": seeds}
+			result = rows
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -263,7 +285,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "multigroup", "fanout", "jointransfer", "logreduction", "relaxed", "qos", "placement"} {
+		for i, name := range []string{"fig3", "sizesweep", "table1", "table2", "multigroup", "fanout", "jointransfer", "logreduction", "relaxed", "qos", "placement", "chaos"} {
 			if i > 0 {
 				fmt.Println()
 			}

@@ -1,0 +1,46 @@
+// Degraded-mode transitions: when the WAL fails terminally the engine
+// swaps in a fresh log, and the swap is the only part that may happen
+// under e.mu. Closing the failed log, opening its replacement, and
+// waiting on the barrier are all blocking storage I/O — doing any of
+// them inside the span is the deadlock the real tryReopen avoids.
+package core
+
+import "wal"
+
+// reopenUnderLock is the wrong shape: the full reopen — close, open,
+// barrier — runs while the engine lock is held, so every request stalls
+// behind disk recovery.
+func (e *Engine) reopenUnderLock(dir string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log.Close()            // want `\(\*File\)\.Close \[file I/O\] \(via \(\*Log\)\.Close\) while "e\.mu" is held`
+	nl, err := wal.Open(dir) // want `os\.OpenFile \[file I/O\] \(via wal\.Open\) while "e\.mu" is held`
+	if err != nil {
+		return
+	}
+	e.log = nl
+	nl.Barrier() // want `\(\*File\)\.Sync \[file I/O\] \(via \(\*Log\)\.Barrier\) while "e\.mu" is held`
+}
+
+// tryReopen is the conforming shape: blocking I/O happens off-lock on
+// both sides of the span; the span itself only swaps the pointer and
+// enqueues checkpoints through the non-blocking path.
+func (e *Engine) tryReopen(dir string) bool {
+	e.mu.RLock()
+	old := e.log
+	e.mu.RUnlock()
+	old.Close() // off-lock: fine
+	nl, err := wal.Open(dir)
+	if err != nil {
+		return false
+	}
+	e.mu.Lock()
+	e.log = nl
+	fresh := nl.AppendAsync(nil) // non-blocking enqueue: fine
+	e.mu.Unlock()
+	if !fresh {
+		return false
+	}
+	nl.Barrier() // after release: fine
+	return true
+}

@@ -1,0 +1,476 @@
+// Package chaos is a seeded fault-composition harness: it runs a real
+// Corona server (core.Server) over an injectable disk (internal/faultfs)
+// and an injectable network (internal/faultnet), drives concurrent client
+// load through whole fault arcs — network cuts, a sticky fsync fault that
+// fails the WAL terminally, degraded-mode recovery, and a final power cut
+// — and audits the service's contracts afterward:
+//
+//   - durability honesty: every event acked under SyncAlways is present
+//     after the crash-restart (nacked and errored sends owe nothing);
+//   - total order: no two receivers saw different payloads for the same
+//     (group, sequence number);
+//   - gapless delivery: a receiver that never disconnected saw every
+//     sequence number of its group exactly once, in order;
+//   - deterministic replay: recovering the directory twice yields
+//     byte-identical group state and equal history digests.
+//
+// Every random choice — fault points, crash cut offsets, send pacing —
+// derives from one seed, so a failing run reproduces from its report.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corona/internal/client"
+	"corona/internal/core"
+	"corona/internal/faultfs"
+	"corona/internal/faultnet"
+	"corona/internal/wal"
+	"corona/internal/wire"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed drives every random choice. Zero means seed 1.
+	Seed int64
+	// Dir is the server's WAL directory (required; the run owns it).
+	Dir string
+	// Groups is the number of persistent groups (default 2).
+	Groups int
+	// Clients is the number of load clients, assigned to groups round-
+	// robin (default 6). A quarter of them (at least one) ride a flaky
+	// network proxy that gets cut mid-run.
+	Clients int
+	// Rounds is the number of events each client sends per phase; the
+	// run has three load phases (default 10).
+	Rounds int
+	// NetChaos enables the network-fault phase (proxy latency + link
+	// cut). Storage chaos always runs — it is the point.
+	NetChaos bool
+	// Logger receives harness and server logs (nil: discard).
+	Logger *slog.Logger
+}
+
+// Report is the outcome of a run: load accounting, the fault arc as
+// observed, and the audit verdicts. Failures holds one line per violated
+// contract; a clean run has none.
+type Report struct {
+	Seed       int64 `json:"seed"`
+	Groups     int   `json:"groups"`
+	Clients    int   `json:"clients"`
+	Attempted  int   `json:"attempted"`
+	Acked      int   `json:"acked"`
+	Nacked     int   `json:"nacked"`
+	SendErrors int   `json:"send_errors"`
+	Delivered  int   `json:"delivered"`
+
+	DegradedSeen     bool `json:"degraded_seen"`
+	HealthRedSeen    bool `json:"health_red_seen"`
+	Recovered        bool `json:"recovered"`
+	HealthGreenAfter bool `json:"health_green_after"`
+
+	AckedLost       int  `json:"acked_lost"`
+	OrderViolations int  `json:"order_violations"`
+	GapViolations   int  `json:"gap_violations"`
+	ReplayIdentical bool `json:"replay_identical"`
+
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Ok reports whether every audited contract held.
+func (r *Report) Ok() bool { return len(r.Failures) == 0 }
+
+func (r *Report) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// delivery is one event as a receiver saw it.
+type delivery struct {
+	seq     uint64
+	payload string
+}
+
+// loadClient is one load generator: a client joined to one group,
+// recording everything delivered to it.
+type loadClient struct {
+	name  string
+	group string
+	flaky bool
+	c     *client.Client
+
+	mu           sync.Mutex
+	seen         map[string][]delivery
+	disconnected atomic.Bool
+}
+
+func (lc *loadClient) onEvent(group string, ev wire.Event) {
+	lc.mu.Lock()
+	lc.seen[group] = append(lc.seen[group], delivery{seq: ev.Seq, payload: string(ev.Data)})
+	lc.mu.Unlock()
+}
+
+// Run executes one chaos arc and audits the aftermath.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = 2
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 6
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 10
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("chaos: Dir required")
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	rep := &Report{Seed: cfg.Seed, Groups: cfg.Groups, Clients: cfg.Clients}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// ---- bring the service up on an injectable disk and network ----
+
+	fs := faultfs.New(rng.Int63())
+	srv, err := core.NewServer(core.Config{Engine: core.EngineConfig{
+		Dir: cfg.Dir, Sync: wal.SyncAlways, WALFS: fs,
+		ReopenBackoff: 5 * time.Millisecond,
+		Logger:        log,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: server: %w", err)
+	}
+	srv.Start()
+	engine := srv.Engine()
+
+	stable, err := faultnet.New("127.0.0.1:0", srv.Addr().String())
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("chaos: proxy: %w", err)
+	}
+	flaky, err := faultnet.New("127.0.0.1:0", srv.Addr().String())
+	if err != nil {
+		stable.Close()
+		srv.Close()
+		return nil, fmt.Errorf("chaos: proxy: %w", err)
+	}
+	defer func() { stable.Close(); flaky.Close() }()
+
+	admin, err := client.Dial(client.Config{Addr: srv.Addr().String(), Name: "chaos-admin", Logger: log})
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("chaos: admin: %w", err)
+	}
+	groups := make([]string, cfg.Groups)
+	for i := range groups {
+		groups[i] = fmt.Sprintf("chaos-g%d", i)
+		if err := admin.CreateGroup(groups[i], true, []wire.Object{{ID: "o"}}); err != nil {
+			admin.Close()
+			srv.Close()
+			return nil, fmt.Errorf("chaos: create %s: %w", groups[i], err)
+		}
+	}
+	admin.Close()
+
+	nFlaky := cfg.Clients / 4
+	if cfg.NetChaos && nFlaky == 0 {
+		nFlaky = 1
+	}
+	clients := make([]*loadClient, 0, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		lc := &loadClient{
+			name:  fmt.Sprintf("c%02d", i),
+			group: groups[i%cfg.Groups],
+			flaky: i < nFlaky,
+			seen:  make(map[string][]delivery),
+		}
+		addr := stable.Addr()
+		if lc.flaky {
+			addr = flaky.Addr()
+		}
+		c, err := client.Dial(client.Config{
+			Addr: addr, Name: lc.name, Logger: log,
+			OnEvent:          lc.onEvent,
+			OnDisconnect:     func(error) { lc.disconnected.Store(true) },
+			AutoReconnect:    true,
+			ReconnectBackoff: 10 * time.Millisecond,
+			Timeout:          10 * time.Second,
+		})
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("chaos: dial %s: %w", lc.name, err)
+		}
+		lc.c = c
+		if _, err := c.Join(lc.group, client.JoinOptions{}); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("chaos: join %s: %w", lc.name, err)
+		}
+		clients = append(clients, lc)
+	}
+	defer func() {
+		for _, lc := range clients {
+			lc.c.Close()
+		}
+	}()
+
+	// acked tracks the durability obligations: payloads whose send was
+	// positively acknowledged, per group.
+	var ackMu sync.Mutex
+	acked := make(map[string][]string)
+	record := func(lc *loadClient, payload string, err error) {
+		ackMu.Lock()
+		defer ackMu.Unlock()
+		rep.Attempted++
+		switch {
+		case err == nil:
+			rep.Acked++
+			acked[lc.group] = append(acked[lc.group], payload)
+		case isNotDurable(err):
+			rep.Nacked++
+		default:
+			rep.SendErrors++
+		}
+	}
+	sendRound := func(phase string) {
+		var wg sync.WaitGroup
+		for _, lc := range clients {
+			wg.Add(1)
+			// Per-sender pacing rng, seeded from the master before the
+			// goroutine starts: rand.Rand is not goroutine-safe.
+			pace := rand.New(rand.NewSource(rng.Int63()))
+			go func(lc *loadClient, pace *rand.Rand) {
+				defer wg.Done()
+				for i := 0; i < cfg.Rounds; i++ {
+					payload := fmt.Sprintf("%s-%s-%04d|", lc.name, phase, i)
+					_, err := lc.c.BcastUpdate(lc.group, "o", []byte(payload), true)
+					record(lc, payload, err)
+					time.Sleep(time.Duration(200+pace.Intn(800)) * time.Microsecond)
+				}
+			}(lc, pace)
+		}
+		wg.Wait()
+	}
+	waitCond := func(what string, cond func() bool) bool {
+		deadline := time.Now().Add(15 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				rep.failf("timed out waiting for %s", what)
+				return false
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return true
+	}
+
+	// ---- phase A: healthy load ----
+	sendRound("a")
+
+	// ---- phase B: network chaos (flaky link delayed, then cut) ----
+	if cfg.NetChaos {
+		flaky.SetDelay(time.Duration(rng.Intn(3)+1) * time.Millisecond)
+		// Draw the schedule before spawning; rng stays on this goroutine.
+		cutAfter := time.Duration(rng.Intn(20)+5) * time.Millisecond
+		cutFor := time.Duration(rng.Intn(30)+20) * time.Millisecond
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(cutAfter)
+			flaky.Cut()
+			time.Sleep(cutFor)
+			flaky.Heal()
+			flaky.SetDelay(0)
+		}()
+		sendRound("b")
+		wg.Wait()
+	}
+
+	// ---- phase C: storage chaos — sticky fsync fault, log fails ----
+	fs.Inject(faultfs.Rule{Op: faultfs.OpSync, Count: -1, Err: errors.New("chaos: injected fsync fault")})
+	sendRound("c")
+	rep.DegradedSeen = waitCond("degraded entry", engine.Degraded)
+	if _, healthy := engine.Metrics().CheckHealth(); !healthy {
+		rep.HealthRedSeen = true
+	} else if rep.DegradedSeen {
+		rep.failf("healthz green while engine degraded")
+	}
+
+	// ---- phase D: disk heals, engine recovers, honest acks resume ----
+	fs.Clear()
+	rep.Recovered = waitCond("degraded recovery", func() bool { return !engine.Degraded() })
+	if _, healthy := engine.Metrics().CheckHealth(); healthy {
+		rep.HealthGreenAfter = true
+	} else if rep.Recovered {
+		rep.failf("healthz red after recovery")
+	}
+	sendRound("d")
+
+	// ---- phase E: power cut and restart ----
+	for _, lc := range clients {
+		lc.c.Close()
+	}
+	if err := fs.Crash(); err != nil {
+		rep.failf("crash truncation: %v", err)
+	}
+	_ = srv.Close() // flush fails on the crashed disk; acked data is already synced
+
+	rep.Delivered = countDeliveries(clients)
+	auditOrder(rep, clients)
+	auditGapless(rep, clients)
+	if err := auditRestart(rep, cfg, log, groups, acked); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// isNotDurable reports whether a send error is the honest durability nack
+// (the event may have been delivered, but its record never committed).
+func isNotDurable(err error) bool {
+	var se *client.ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeNotDurable
+}
+
+func countDeliveries(clients []*loadClient) int {
+	n := 0
+	for _, lc := range clients {
+		lc.mu.Lock()
+		for _, ds := range lc.seen {
+			n += len(ds)
+		}
+		lc.mu.Unlock()
+	}
+	return n
+}
+
+// auditOrder cross-checks every receiver's view: the same (group, seq)
+// must carry the same payload everywhere — the per-group total order.
+func auditOrder(rep *Report, clients []*loadClient) {
+	canon := make(map[string]map[uint64]string)
+	for _, lc := range clients {
+		lc.mu.Lock()
+		for group, ds := range lc.seen {
+			m := canon[group]
+			if m == nil {
+				m = make(map[uint64]string)
+				canon[group] = m
+			}
+			for _, d := range ds {
+				if prev, ok := m[d.seq]; !ok {
+					m[d.seq] = d.payload
+				} else if prev != d.payload {
+					rep.OrderViolations++
+					rep.failf("order: %s seq %d seen as %q and %q", group, d.seq, prev, d.payload)
+				}
+			}
+		}
+		lc.mu.Unlock()
+	}
+}
+
+// auditGapless checks that every receiver that held its connection for
+// the whole run saw a dense, in-order sequence stream.
+func auditGapless(rep *Report, clients []*loadClient) {
+	for _, lc := range clients {
+		if lc.disconnected.Load() {
+			continue // resynced suffixes are audited by auditOrder only
+		}
+		lc.mu.Lock()
+		for group, ds := range lc.seen {
+			want := uint64(1)
+			for _, d := range ds {
+				if d.seq != want {
+					rep.GapViolations++
+					rep.failf("gap: %s at %s: seq %d after %d", lc.name, group, d.seq, want-1)
+					want = d.seq
+				}
+				want++
+			}
+		}
+		lc.mu.Unlock()
+	}
+}
+
+// auditRestart recovers the crashed directory and verifies the durability
+// obligations, then recovers it again and verifies the two replays agree
+// byte for byte.
+func auditRestart(rep *Report, cfg Config, log *slog.Logger, groups []string, acked map[string][]string) error {
+	open := func() (*core.Engine, error) {
+		return core.NewEngine(core.EngineConfig{Dir: cfg.Dir, Sync: wal.SyncAlways, Logger: log})
+	}
+	e1, err := open()
+	if err != nil {
+		return fmt.Errorf("chaos: recover after crash: %w", err)
+	}
+	images := make(map[string]string)
+	for _, group := range groups {
+		_, cp, ok := e1.GroupImage(group)
+		if !ok {
+			rep.failf("durability: group %s lost across restart", group)
+			rep.AckedLost += len(acked[group])
+			continue
+		}
+		var body string
+		for _, obj := range cp.Objects {
+			if obj.ID == "o" {
+				body = string(obj.Data)
+			}
+		}
+		images[group] = body
+		for _, payload := range acked[group] {
+			if !strings.Contains(body, payload) {
+				rep.AckedLost++
+				rep.failf("durability: acked %q missing from %s after restart", payload, group)
+			}
+		}
+	}
+	digests1 := digestsOf(e1)
+	if err := e1.Close(); err != nil {
+		rep.failf("close after first recovery: %v", err)
+	}
+
+	e2, err := open()
+	if err != nil {
+		return fmt.Errorf("chaos: second recovery: %w", err)
+	}
+	rep.ReplayIdentical = true
+	digests2 := digestsOf(e2)
+	for _, group := range groups {
+		_, cp, ok := e2.GroupImage(group)
+		var body string
+		if ok {
+			for _, obj := range cp.Objects {
+				if obj.ID == "o" {
+					body = string(obj.Data)
+				}
+			}
+		}
+		if body != images[group] || digests1[group] != digests2[group] {
+			rep.ReplayIdentical = false
+			rep.failf("replay: group %s differs between recoveries", group)
+		}
+	}
+	if err := e2.Close(); err != nil {
+		rep.failf("close after second recovery: %v", err)
+	}
+	return nil
+}
+
+func digestsOf(e *core.Engine) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, gs := range e.SeqReport() {
+		out[gs.Group] = gs.Digest
+	}
+	return out
+}

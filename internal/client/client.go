@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -323,14 +324,18 @@ func (c *Client) readLoop(conn *transport.Conn, gen int) {
 	}
 }
 
-// reconnectLoop retries Reconnect with exponential backoff until it
-// succeeds or the client is closed.
+// reconnectLoop retries Reconnect with jittered exponential backoff until
+// it succeeds or the client is closed. Equal jitter — a draw from
+// [backoff/2, backoff) — desynchronizes the retry herd: a server restart
+// disconnects every client at once, and unjittered backoff would march
+// them all back through the door on the same schedule.
 func (c *Client) reconnectLoop() {
 	backoff := c.cfg.ReconnectBackoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
 	max := 32 * backoff
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		results, err := c.Reconnect()
 		if err == nil {
@@ -342,8 +347,9 @@ func (c *Client) reconnectLoop() {
 		if errors.Is(err, ErrClosed) {
 			return
 		}
-		c.log.Debug("reconnect failed; retrying", "err", err, "backoff", backoff)
-		time.Sleep(backoff)
+		d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		c.log.Debug("reconnect failed; retrying", "err", err, "backoff", d)
+		time.Sleep(d)
 		if backoff < max {
 			backoff *= 2
 		}

@@ -85,7 +85,7 @@ func (s *Server) handleElectionProbe(conn *transport.Conn, m *wire.SElect) {
 		return
 	}
 	// The candidate announces the outcome (SServerList) if it wins.
-	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	_ = conn.SetReadDeadline(time.Now().Add(s.outcomeTimeout()))
 	outcome, err := conn.ReadMessage()
 	if err != nil {
 		return
@@ -224,7 +224,7 @@ func (s *Server) runCandidacy() bool {
 	votes := make(chan voter, len(others))
 	for _, info := range others {
 		go func(addr string) {
-			conn, err := transport.Dial(addr, time.Second)
+			conn, err := transport.Dial(addr, s.voteDialTimeout())
 			if err != nil {
 				votes <- voter{}
 				return
@@ -234,7 +234,7 @@ func (s *Server) runCandidacy() bool {
 				votes <- voter{}
 				return
 			}
-			_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			_ = conn.SetReadDeadline(time.Now().Add(s.voteReadTimeout()))
 			msg, err := conn.ReadMessage()
 			if err != nil {
 				conn.Close()
@@ -335,7 +335,7 @@ func (s *Server) promote(epoch uint64) {
 // connectSelf registers the promoted server with its own embedded
 // coordinator (through the loopback peer listener, like any other server).
 func (s *Server) connectSelf() bool {
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(s.registerTimeout())
 	for time.Now().Before(deadline) {
 		if err := s.connectCoordinator(s.PeerAddr()); err == nil {
 			return true

@@ -13,6 +13,9 @@ import (
 	"corona/internal/wire"
 )
 
+// errLinkDown is the cluster.link health-probe failure.
+var errLinkDown = errors.New("coordinator link down: cannot sequence")
+
 // ServerConfig configures a member server of a replicated Corona service.
 type ServerConfig struct {
 	// ID is the server's stable identity (required, unique, nonzero).
@@ -153,6 +156,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s.engine = engine
+	// Health probe: a replica that lost its coordinator link (and has not
+	// itself been promoted) cannot sequence — /healthz should say so.
+	engine.Metrics().Probe("cluster.link", func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed || s.linkUp || s.promoted != nil {
+			return nil
+		}
+		return errLinkDown
+	})
 
 	frontend, err := core.NewServerWithEngine(engine, cfg.ClientAddr)
 	if err != nil {
@@ -251,9 +264,34 @@ func (s *Server) failPendingLocked() {
 
 // ---- coordinator link ----
 
+// Wire deadlines, derived from the two configured time constants instead
+// of per-call-site literals, so tuning ElectionBackoff/RequestTimeout for
+// a fast test cluster or a WAN deployment scales every deadline
+// coherently. The defaults reproduce the old literals.
+
+// peerDialTimeout bounds dialing a coordinator or registration target
+// (default 2s).
+func (s *Server) peerDialTimeout() time.Duration { return 4 * s.cfg.ElectionBackoff }
+
+// registerTimeout bounds the wait for a registration ack (default 5s).
+func (s *Server) registerTimeout() time.Duration { return s.cfg.RequestTimeout / 2 }
+
+// voteDialTimeout bounds a candidate's probe dial: shorter than
+// peerDialTimeout because a candidacy fans out to every voter and an
+// unreachable one should not stall the tally (default 1s).
+func (s *Server) voteDialTimeout() time.Duration { return 2 * s.cfg.ElectionBackoff }
+
+// voteReadTimeout bounds a candidate's wait for one vote (default 2s).
+func (s *Server) voteReadTimeout() time.Duration { return 4 * s.cfg.ElectionBackoff }
+
+// outcomeTimeout bounds a voter's wait for the election result: the full
+// coordinated-operation budget, since the candidate must finish its whole
+// tally first (default 10s).
+func (s *Server) outcomeTimeout() time.Duration { return s.cfg.RequestTimeout }
+
 // connectCoordinator dials addr, registers, and installs the link.
 func (s *Server) connectCoordinator(addr string) error {
-	conn, err := transport.Dial(addr, 2*time.Second)
+	conn, err := transport.Dial(addr, s.peerDialTimeout())
 	if err != nil {
 		return err
 	}
@@ -264,7 +302,7 @@ func (s *Server) connectCoordinator(addr string) error {
 		conn.Close()
 		return err
 	}
-	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_ = conn.SetReadDeadline(time.Now().Add(s.registerTimeout()))
 	msg, err := conn.ReadMessage()
 	if err != nil {
 		conn.Close()

@@ -56,9 +56,10 @@ type batchEntry struct {
 	ev    wire.Event
 	incl  bool
 	reqID uint64
-	// onDurable, when non-nil, acknowledges the sender from the WAL
-	// commit callback (SyncAlways deferral).
-	onDurable func()
+	// onCommit, when non-nil, acknowledges — or, on a commit error,
+	// honestly nacks — the sender from the WAL commit callback
+	// (SyncAlways deferral).
+	onCommit func(err error)
 	// applied is false when state.Apply rejected the event; the entry is
 	// still acknowledged (same contract as the unbatched path) but not
 	// delivered or persisted.
@@ -196,7 +197,12 @@ func (e *Engine) bcastBatchLocked(s *Session, group string, msgs []*wire.Bcast, 
 		ent := batchEntry{ev: ev, incl: m.SenderInclusive, reqID: m.RequestID}
 		if deferAcks {
 			reqID, seq := m.RequestID, ev.Seq
-			ent.onDurable = func() {
+			ent.onCommit = func(err error) {
+				if err != nil {
+					e.mBcastNacks.Inc()
+					s.sendErr(reqID, wire.CodeNotDurable, "multicast delivered but not durable: "+err.Error())
+					return
+				}
 				s.send(&wire.BcastAck{RequestID: reqID, Seq: seq})
 			}
 		}
@@ -250,7 +256,7 @@ func (e *Engine) applyAndFanoutBatch(name string, g *membership.Group, grt *grou
 			if !entries[i].applied {
 				continue
 			}
-			entries[i].deferred = e.persistEvent(name, g.Persistent, entries[i].ev, entries[i].onDurable)
+			entries[i].deferred = e.persistEvent(name, g.Persistent, entries[i].ev, entries[i].onCommit)
 		}
 		if t := e.cfg.AutoReduceThreshold; t > 0 && st.HistoryLen() > t {
 			e.reduceLocked(name, g, st, 0)

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"corona/internal/locks"
@@ -59,6 +60,12 @@ type EngineConfig struct {
 	// (0: wal.DefaultSegmentSize). Smaller segments let log reduction
 	// reclaim disk sooner at the cost of more files.
 	SegmentSize int64
+	// WALFS is the filesystem the WAL runs on (nil: the real one). The
+	// fault-injection seam — internal/faultfs plugs in here.
+	WALFS wal.FS
+	// ReopenBackoff is the initial delay between degraded-mode WAL reopen
+	// attempts (0: DefaultReopenBackoff). See degraded.go.
+	ReopenBackoff time.Duration
 	// Stateless turns the engine into the paper's baseline: a sequencer
 	// that keeps no shared state and no log. Joins transfer nothing.
 	Stateless bool
@@ -143,6 +150,9 @@ type walLog interface {
 	TruncateBefore(lsn uint64) error
 	// SegmentCount reports the live segment count (GC observability).
 	SegmentCount() int
+	// Failed reports whether the log hit a terminal storage fault and
+	// rejects all writes with wal.ErrLogFailed.
+	Failed() bool
 	Close() error
 }
 
@@ -186,6 +196,13 @@ type Engine struct {
 	stopped  chan struct{}
 	reporter *errReporter
 
+	// degraded is set after a terminal WAL failure: the engine serves
+	// memory-only, SyncAlways acks become CodeNotDurable nacks, and a
+	// background reopen loop (tracked by bg so Close can wait for it)
+	// works on replacing the log. See degraded.go.
+	degraded atomic.Bool
+	bg       sync.WaitGroup
+
 	lsnMu  sync.Mutex
 	lowLSN map[string]uint64
 
@@ -201,6 +218,11 @@ type Engine struct {
 	mTransferChunks   *obs.Counter
 	mWALErrors        *obs.Counter
 	mApplyErrors      *obs.Counter
+	mBcastNacks       *obs.Counter
+	mFloorCheckpoints *obs.Counter
+	mDegradedEntries  *obs.Counter
+	mDegradedRecovers *obs.Counter
+	gDegraded         *obs.Gauge
 	gSessions         *obs.Gauge
 	gGroups           *obs.Gauge
 	gTransferInflight *obs.Gauge
@@ -273,6 +295,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		mTransferChunks:   metrics.Counter("engine.transfer_chunks"),
 		mWALErrors:        metrics.Counter("engine.wal_append_errors"),
 		mApplyErrors:      metrics.Counter("engine.apply_errors"),
+		mBcastNacks:       metrics.Counter("engine.bcast_nacks"),
+		mFloorCheckpoints: metrics.Counter("engine.floor_checkpoints"),
+		mDegradedEntries:  metrics.Counter("engine.degraded_entries"),
+		mDegradedRecovers: metrics.Counter("engine.degraded_recoveries"),
+		gDegraded:         metrics.Gauge("engine.degraded"),
 		mFanoutWaits:      metrics.Counter("engine.fanout_backpressure_waits"),
 		mLogDrops:         metrics.Counter("engine.error_log_dropped"),
 		mShardBusy:        metrics.Counter("engine.fanout_shard_busy_ns"),
@@ -298,6 +325,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		l, err := wal.Open(wal.Options{
 			Dir: cfg.Dir, Sync: cfg.Sync,
 			SyncEvery: cfg.SyncEvery, SegmentSize: cfg.SegmentSize,
+			FS: cfg.WALFS,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: open wal: %w", err)
@@ -310,8 +338,33 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		e.finishRecover()
 		e.syncGroupsGauge()
 	}
+	// Health probes: /healthz goes red while the engine cannot make
+	// SyncAlways durability promises.
+	metrics.Probe("engine.degraded", func() error {
+		if e.degraded.Load() {
+			return errDegraded
+		}
+		return nil
+	})
+	if e.wal != nil {
+		metrics.Probe("wal.failed", func() error {
+			e.mu.RLock()
+			l := e.wal
+			e.mu.RUnlock()
+			if l != nil && l.Failed() {
+				return errWALFailed
+			}
+			return nil
+		})
+	}
 	return e, nil
 }
+
+// Probe sentinel errors; /healthz reports their text.
+var (
+	errDegraded  = fmt.Errorf("engine degraded: serving memory-only after storage failure")
+	errWALFailed = fmt.Errorf("wal failed: log rejects writes")
+)
 
 // Metrics returns the engine's instrument registry.
 func (e *Engine) Metrics() *obs.Registry { return e.metrics }
@@ -339,7 +392,6 @@ func (e *Engine) Close() error {
 	for _, s := range e.sessions {
 		sessions = append(sessions, s)
 	}
-	l := e.wal
 	e.mu.Unlock()
 
 	for _, s := range sessions {
@@ -348,7 +400,13 @@ func (e *Engine) Close() error {
 	if e.fanout != nil {
 		e.fanout.close()
 	}
+	// Wait out the degraded-mode reopen loop before touching the log: it
+	// may be mid-swap of e.wal. closed is set, so it exits promptly.
+	e.bg.Wait()
 	e.reporter.close()
+	e.mu.Lock()
+	l := e.wal
+	e.mu.Unlock()
 	if l != nil {
 		return l.Close()
 	}

@@ -59,6 +59,9 @@ type groupRuntime struct {
 	mu   sync.Mutex
 	ring *fanoutRing // nil when the engine runs inline fanout
 	snap *fanoutSnap
+	// floorPending dedupes the floor checkpoint a failed commit schedules
+	// to re-establish the group's durability floor (degraded.go).
+	floorPending bool
 }
 
 // fanoutRing is a group's delivery credit semaphore. credits starts full;

@@ -445,7 +445,12 @@ func (e *Engine) bcastLocked(s *Session, m *wire.Bcast, credit *fanoutRing) (*fa
 	e.hIngestBatch.Record(1)
 	holdStart := time.Now()
 	ev.Seq, ev.Time = e.seqr.Next(m.Group)
-	ackDeferred := e.applyAndFanout(m.Group, g, grt, ev, m.SenderInclusive, func() {
+	ackDeferred := e.applyAndFanout(m.Group, g, grt, ev, m.SenderInclusive, func(err error) {
+		if err != nil {
+			e.mBcastNacks.Inc()
+			s.sendErr(m.RequestID, wire.CodeNotDurable, "multicast delivered but not durable: "+err.Error())
+			return
+		}
 		s.send(&wire.BcastAck{RequestID: m.RequestID, Seq: ev.Seq})
 	})
 	grt.mu.Unlock()
@@ -461,10 +466,12 @@ func (e *Engine) bcastLocked(s *Session, m *wire.Bcast, credit *fanoutRing) (*fa
 // (baseline mode), and queues the event record for group commit. The fanout
 // runs in parallel with disk logging (paper §6): receivers may see an event
 // whose record a crash then loses — the paper accepts losing the latest
-// unflushed updates. When onDurable is non-nil and the engine defers
+// unflushed updates. When onCommit is non-nil and the engine defers
 // acknowledgement until durability (SyncAlways on a persistent group), the
-// callback is handed to the WAL group-commit writer and applyAndFanout
-// reports true; otherwise the caller acknowledges immediately.
+// callback is handed to the WAL group-commit writer — invoked with nil once
+// the record is durable, or with the commit error for an honest nack — and
+// applyAndFanout reports true; otherwise the caller acknowledges
+// immediately.
 //
 // Caller holds e.mu (read mode suffices) and the group's mutex. In sharded
 // mode the caller has already acquired one credit of grt.ring; applyAndFanout
@@ -475,7 +482,7 @@ func (e *Engine) bcastLocked(s *Session, m *wire.Bcast, credit *fanoutRing) (*fa
 // alias the sender connection's read buffer, which is reused as soon as the
 // sender's next request is read — so the bytes must be serialized before the
 // critical section ends (zero-copy ingest contract, DESIGN §4).
-func (e *Engine) applyAndFanout(name string, g *membership.Group, grt *groupRuntime, ev wire.Event, senderInclusive bool, onDurable func()) (ackDeferred bool) {
+func (e *Engine) applyAndFanout(name string, g *membership.Group, grt *groupRuntime, ev wire.Event, senderInclusive bool, onCommit func(err error)) (ackDeferred bool) {
 	start := time.Now()
 	defer func() { e.hFanout.Record(time.Since(start).Nanoseconds()) }()
 	e.mBcasts.Inc()
@@ -527,7 +534,7 @@ func (e *Engine) applyAndFanout(name string, g *membership.Group, grt *groupRunt
 	}
 
 	if st != nil {
-		ackDeferred = e.persistEvent(name, g.Persistent, ev, onDurable)
+		ackDeferred = e.persistEvent(name, g.Persistent, ev, onCommit)
 		// The checkpoint record a reduction appends enters the commit
 		// queue after the event record above, preserving log order.
 		if t := e.cfg.AutoReduceThreshold; t > 0 && st.HistoryLen() > t {

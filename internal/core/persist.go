@@ -107,9 +107,13 @@ func decodeEventBody(d *wire.Decoder) (wire.Event, error) {
 }
 
 // recover rebuilds the persistent groups from the stable-storage log.
-// Called from NewEngine before any session exists, so no locking.
+// Called from NewEngine before any session exists; the lock is contention-
+// free and taken only to keep one access discipline on the log pointer.
 func (e *Engine) recover() error {
-	return e.wal.Replay(0, func(lsn uint64, payload []byte) error {
+	e.mu.RLock()
+	l := e.wal
+	e.mu.RUnlock()
+	return l.Replay(0, func(lsn uint64, payload []byte) error {
 		if len(payload) == 0 {
 			return errors.New("core: empty wal record")
 		}
@@ -154,8 +158,14 @@ func (e *Engine) recover() error {
 				// logged before a checkpoint that follows; skip.
 				return nil
 			}
-			if ev.Seq < st.NextSeq() {
-				return nil // already covered by a checkpoint
+			if ev.Seq != st.NextSeq() {
+				// Behind: already covered by a checkpoint. Ahead: a failed
+				// batch burned the intervening LSNs, so this record cannot
+				// apply over the gap — it is restored instead by the floor
+				// checkpoint the engine enqueued behind the failure (its
+				// history covers every event sequenced before it, this one
+				// included).
+				return nil
 			}
 			if err := st.Apply(ev); err != nil {
 				return fmt.Errorf("core: wal event %d: %w", lsn, err)
@@ -209,11 +219,12 @@ func (e *Engine) finishRecover() {
 // group-commit writer coalesces queued records into one buffered write and
 // fsync. Because every record type goes through the same queue, log order
 // equals enqueue order — a delete can never overtake the events of the
-// group it deletes, and a re-create lands after them. Append failures are
-// counted (engine.wal_append_errors, satellite of paper §6's durability
-// discussion) and logged, never propagated to the client: the paper accepts
-// losing the latest updates on a crash, so a lost record only weakens
-// recovery, not the live service.
+// group it deletes, and a re-create lands after them. Commit failures are
+// counted (engine.wal_append_errors) and — under SyncAlways, where the ack
+// contract includes durability — propagated to the sender as a
+// CodeNotDurable nack instead of a BcastAck; see noteWALCommitError for
+// how the engine then repairs the group's durability floor or enters
+// degraded mode.
 
 // walAppendFailed records a failed enqueue. Callers hold e.mu or a group
 // mutex, where blocking log I/O is forbidden (lockhold): the counter and
@@ -225,33 +236,43 @@ func (e *Engine) walAppendFailed(group, record string, err error) {
 	e.mWALErrors.Inc()
 	e.metrics.Event("wal", fmt.Sprintf("%s enqueue failed: group=%s: %v", record, group, err))
 	e.reporter.report("wal append failed: "+record, group, 0, err)
+	if errors.Is(err, wal.ErrLogFailed) {
+		// Safe under the engine locks: entering degraded mode is a CAS
+		// plus a goroutine spawn, never blocking I/O.
+		e.enterDegraded(err)
+	}
 }
 
 // persistEvent queues one applied event record of a persistent group for
-// group commit. With SyncAlways and a non-nil onDurable the acknowledgement
+// group commit. With SyncAlways and a non-nil onCommit the acknowledgement
 // runs from the commit callback — i.e. after the batch's fsync — and
-// persistEvent reports true; under the relaxed policies durability is not
-// part of the ack contract and the caller acknowledges immediately. Caller
-// holds the group's mutex, so records enter the queue in apply order.
-func (e *Engine) persistEvent(group string, persistent bool, ev wire.Event, onDurable func()) bool {
+// persistEvent reports true: onCommit(nil) sends the BcastAck, and
+// onCommit(err) sends the honest CodeNotDurable nack instead, because a
+// SyncAlways ack that the disk did not back would be a lie (the pre-fix
+// code acknowledged failed commits and the chaos harness pins the fix).
+// Under the relaxed policies durability is not part of the ack contract
+// and the caller acknowledges immediately. Caller holds the group's mutex,
+// so records enter the queue in apply order.
+func (e *Engine) persistEvent(group string, persistent bool, ev wire.Event, onCommit func(err error)) bool {
 	if e.wal == nil || !persistent {
 		return false
 	}
-	deferAck := onDurable != nil && e.cfg.Sync == wal.SyncAlways
+	deferAck := onCommit != nil && e.cfg.Sync == wal.SyncAlways
 	err := e.wal.AppendAsync(encodeEventRecord(group, ev), func(_ uint64, err error) {
 		if err != nil {
-			e.mWALErrors.Inc()
-			e.log.Error("wal append failed", "group", group, "err", err)
+			e.noteWALCommitError(group, "event", err)
 		}
 		if deferAck {
-			// Acknowledge even on a failed append: the client's ack
-			// has never promised more than the sync policy delivers,
-			// and the error is surfaced via metrics and the log.
-			onDurable()
+			onCommit(err)
 		}
 	})
 	if err != nil {
 		e.walAppendFailed(group, "event", err)
+		if deferAck {
+			// The enqueue itself failed (terminal log): nack now.
+			onCommit(err)
+			return true
+		}
 		return false
 	}
 	return deferAck
@@ -267,8 +288,7 @@ func (e *Engine) persistCreate(group string, persistent bool, initial []wire.Obj
 	}
 	err := e.wal.AppendAsync(encodeCreateRecord(group, initial), func(lsn uint64, err error) {
 		if err != nil {
-			e.mWALErrors.Inc()
-			e.log.Error("wal append failed", "group", group, "err", err)
+			e.noteWALCommitError(group, "create", err)
 			return
 		}
 		e.setLowLSN(group, lsn)
@@ -286,8 +306,10 @@ func (e *Engine) persistDelete(group string) {
 	}
 	err := e.wal.AppendAsync(encodeDeleteRecord(group), func(_ uint64, err error) {
 		if err != nil {
-			e.mWALErrors.Inc()
-			e.log.Error("wal append failed", "group", group, "err", err)
+			// The group is gone from memory; a lost delete record only
+			// means recovery may resurrect it (bounded weakening, same as
+			// any record lost under the relaxed policies).
+			e.noteWALCommitError(group, "delete", err)
 		}
 	})
 	if err != nil {
@@ -306,8 +328,7 @@ func (e *Engine) persistCheckpoint(group string, st *state.Group) {
 	}
 	err := e.wal.AppendAsync(encodeCheckpointRecord(group, st.Checkpoint()), func(lsn uint64, err error) {
 		if err != nil {
-			e.mWALErrors.Inc()
-			e.log.Error("wal checkpoint failed", "group", group, "err", err)
+			e.noteWALCommitError(group, "checkpoint", err)
 			return
 		}
 		if e.setLowLSN(group, lsn) {
@@ -336,9 +357,14 @@ func (e *Engine) setLowLSN(group string, lsn uint64) bool {
 }
 
 // gcWAL drops log segments below the oldest record any persistent group
-// still needs. Safe from any goroutine; lowLSN is guarded by lsnMu.
+// still needs. Safe from any goroutine that holds no engine lock: the
+// log pointer is snapshotted under e.mu, lowLSN is guarded by lsnMu, and
+// the truncate itself runs off-lock.
 func (e *Engine) gcWAL() {
-	if e.wal == nil {
+	e.mu.RLock()
+	l := e.wal
+	e.mu.RUnlock()
+	if l == nil {
 		return
 	}
 	e.lsnMu.Lock()
@@ -353,7 +379,7 @@ func (e *Engine) gcWAL() {
 	if first {
 		return
 	}
-	if err := e.wal.TruncateBefore(min); err != nil {
+	if err := l.TruncateBefore(min); err != nil {
 		e.log.Error("wal truncate failed", "err", err)
 	}
 }

@@ -10,7 +10,9 @@ import (
 // NewMux returns the debug HTTP handler for a registry:
 //
 //	GET /metrics       JSON Snapshot of every instrument
-//	GET /healthz       "ok" (liveness)
+//	GET /healthz       readiness from the registered probes (health.go):
+//	                   plain "ok" while every probe passes, 503 with a
+//	                   JSON probe report otherwise
 //	GET /trace         JSON of the recent event ring
 //	GET /debug/pprof/  the standard runtime profiles
 //
@@ -23,8 +25,20 @@ func NewMux(r *Registry) *http.ServeMux {
 		writeJSON(w, r.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ok\n"))
+		results, healthy := r.CheckHealth()
+		if healthy {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Healthy bool          `json:"healthy"`
+			Probes  []ProbeResult `json:"probes"`
+		}{healthy, results})
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, r.Trace().Snapshot())

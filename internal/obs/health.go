@@ -1,0 +1,57 @@
+package obs
+
+// Health probes: named go/no-go checks subsystems register on a registry,
+// aggregated by /healthz (debug.go). A probe returns nil when healthy and
+// a descriptive error otherwise. Probes are called on every health check,
+// so they must be cheap and non-blocking — read a flag, not a disk.
+
+import "sort"
+
+// Probe registers (or replaces) a named health probe.
+func (r *Registry) Probe(name string, fn func() error) {
+	r.mu.Lock()
+	if r.probes == nil {
+		r.probes = make(map[string]func() error)
+	}
+	r.probes[name] = fn
+	r.mu.Unlock()
+}
+
+// RemoveProbe unregisters a named probe.
+func (r *Registry) RemoveProbe(name string) {
+	r.mu.Lock()
+	delete(r.probes, name)
+	r.mu.Unlock()
+}
+
+// ProbeResult is one probe's outcome in a health report.
+type ProbeResult struct {
+	Name  string `json:"name"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// CheckHealth runs every registered probe and reports per-probe results
+// (sorted by name) plus the conjunction. No probes means healthy.
+func (r *Registry) CheckHealth() (results []ProbeResult, healthy bool) {
+	r.mu.RLock()
+	probes := make(map[string]func() error, len(r.probes))
+	for k, v := range r.probes {
+		probes[k] = v
+	}
+	r.mu.RUnlock()
+
+	healthy = true
+	results = make([]ProbeResult, 0, len(probes))
+	for name, fn := range probes {
+		res := ProbeResult{Name: name, OK: true}
+		if err := fn(); err != nil {
+			res.OK = false
+			res.Error = err.Error()
+			healthy = false
+		}
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, healthy
+}

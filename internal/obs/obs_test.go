@@ -2,11 +2,13 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -218,5 +220,71 @@ func TestDebugServerEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+}
+
+func TestHealthProbes(t *testing.T) {
+	r := NewRegistry()
+	if results, healthy := r.CheckHealth(); !healthy || len(results) != 0 {
+		t.Fatalf("empty registry: healthy=%v results=%v", healthy, results)
+	}
+
+	sick := errors.New("subsystem on fire")
+	var failing atomic.Bool
+	r.Probe("b.flappy", func() error {
+		if failing.Load() {
+			return sick
+		}
+		return nil
+	})
+	r.Probe("a.solid", func() error { return nil })
+
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr() + "/healthz"
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthy healthz = %d %q", resp.StatusCode, body)
+	}
+
+	failing.Store(true)
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Healthy bool          `json:"healthy"`
+		Probes  []ProbeResult `json:"probes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatalf("unhealthy healthz not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy healthz status = %d, want 503", resp.StatusCode)
+	}
+	if report.Healthy || len(report.Probes) != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Sorted by name: a.solid first, then the failing b.flappy.
+	if report.Probes[0].Name != "a.solid" || !report.Probes[0].OK {
+		t.Fatalf("probe 0 = %+v", report.Probes[0])
+	}
+	if p := report.Probes[1]; p.Name != "b.flappy" || p.OK || p.Error != sick.Error() {
+		t.Fatalf("probe 1 = %+v", p)
+	}
+
+	r.RemoveProbe("b.flappy")
+	if _, healthy := r.CheckHealth(); !healthy {
+		t.Fatal("still unhealthy after removing the failing probe")
 	}
 }

@@ -11,6 +11,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	probes   map[string]func() error // health probes (health.go)
 	trace    *Trace
 }
 

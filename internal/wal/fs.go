@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam beneath the log. The default implementation
+// (OSFS) passes straight through to the os package; internal/faultfs wraps
+// it to inject storage faults — failed fsyncs, short writes, ENOSPC,
+// latency, crash-point truncation — without touching the log's logic.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir returns the names (not paths) of dir's regular entries.
+	ReadDir(dir string) ([]string, error)
+	// Create opens a new file for appending. It fails if path exists.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(path string) (File, error)
+	// OpenRead opens an existing file for reading.
+	OpenRead(path string) (File, error)
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// Size returns path's byte length.
+	Size(path string) (int64, error)
+}
+
+// File is one open log segment. Write-side methods are used by the
+// committer; Read is used by recovery scans and Replay.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync commits written bytes to stable storage. After Sync returns an
+	// error the durability of every write since the previous successful
+	// Sync is unknown (the "fsyncgate" contract): the caller must not call
+	// Sync on this file again and claim durability if it succeeds.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		names = append(names, ent.Name())
+	}
+	return names, nil
+}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) OpenRead(path string) (File, error) { return os.Open(path) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) Size(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

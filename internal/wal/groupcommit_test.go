@@ -8,6 +8,48 @@ import (
 	"testing"
 )
 
+// hookFS wraps the real filesystem and runs a hook before every file
+// fsync — the in-package face of the FS seam (internal/faultfs is the
+// full fault driver). A non-nil error from the hook replaces the fsync.
+type hookFS struct {
+	FS
+	syncHook atomic.Pointer[func() error]
+}
+
+func newHookFS() *hookFS { return &hookFS{FS: OSFS} }
+
+func (h *hookFS) setHook(fn func() error) { h.syncHook.Store(&fn) }
+
+func (h *hookFS) Create(path string) (File, error) {
+	f, err := h.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &hookFile{File: f, fs: h}, nil
+}
+
+func (h *hookFS) OpenAppend(path string) (File, error) {
+	f, err := h.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &hookFile{File: f, fs: h}, nil
+}
+
+type hookFile struct {
+	File
+	fs *hookFS
+}
+
+func (f *hookFile) Sync() error {
+	if fn := f.fs.syncHook.Load(); fn != nil && *fn != nil {
+		if err := (*fn)(); err != nil {
+			return err
+		}
+	}
+	return f.File.Sync()
+}
+
 // gatedFsync blocks the committer's fsync until released, so a test can
 // deterministically pile appends into the next batch.
 type gatedFsync struct {
@@ -28,9 +70,10 @@ func (g *gatedFsync) hook() error {
 }
 
 func TestGroupCommitCoalesces(t *testing.T) {
-	l := openTest(t, Options{Sync: SyncAlways})
+	fs := newHookFS()
+	l := openTest(t, Options{Sync: SyncAlways, FS: fs})
 	gate := newGatedFsync()
-	l.fsyncHook = gate.hook
+	fs.setHook(gate.hook)
 
 	var acked atomic.Int64
 	done := func(uint64, error) { acked.Add(1) }
@@ -52,6 +95,7 @@ func TestGroupCommitCoalesces(t *testing.T) {
 	gate.release <- struct{}{} // finish batch 1
 	<-gate.entered             // batch 2 reaches its fsync
 	gate.release <- struct{}{} // finish batch 2
+	fs.setHook(nil)            // Close fsyncs once more on its way out
 
 	if err := l.Barrier(); err != nil {
 		t.Fatal(err)
@@ -68,9 +112,10 @@ func TestGroupCommitCoalesces(t *testing.T) {
 }
 
 func TestGroupCommitAckAfterFsync(t *testing.T) {
-	l := openTest(t, Options{Sync: SyncAlways})
+	fs := newHookFS()
+	l := openTest(t, Options{Sync: SyncAlways, FS: fs})
 	gate := newGatedFsync()
-	l.fsyncHook = gate.hook
+	fs.setHook(gate.hook)
 
 	acked := make(chan uint64, 1)
 	if err := l.AppendAsync([]byte("x"), func(lsn uint64, err error) {
@@ -92,24 +137,23 @@ func TestGroupCommitAckAfterFsync(t *testing.T) {
 	if lsn := <-acked; lsn != 0 {
 		t.Fatalf("lsn = %d, want 0", lsn)
 	}
+	fs.setHook(nil)
 }
 
 func TestGroupCommitErrorPropagation(t *testing.T) {
-	l := openTest(t, Options{Sync: SyncAlways})
-	gate := newGatedFsync()
+	fs := newHookFS()
+	l := openTest(t, Options{Sync: SyncAlways, FS: fs})
 	boom := errors.New("disk on fire")
-	fail := atomic.Bool{}
-	l.fsyncHook = func() error {
-		if fail.Load() {
-			gate.calls.Add(1)
-			return boom
-		}
-		return nil
-	}
+	gate := newGatedFsync()
+	fs.setHook(gate.hook)
 
-	// With the failure armed, every waiter of the doomed batch (or
-	// batches) must see the error.
-	fail.Store(true)
+	// Park the committer in a benign fsync so the doomed appends all land
+	// in one batch — one fsync failure fails exactly one batch.
+	if err := l.AppendAsync([]byte("parked"), nil); err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered
+
 	const n = 8
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -121,6 +165,10 @@ func TestGroupCommitErrorPropagation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	fs.setHook(func() error { return boom })
+	gate.release <- struct{}{}
+
+	// Every waiter of the doomed batch sees the error.
 	wg.Wait()
 	for i, err := range errs {
 		if !errors.Is(err, boom) {
@@ -128,15 +176,22 @@ func TestGroupCommitErrorPropagation(t *testing.T) {
 		}
 	}
 
-	// The log recovers once the disk does: the next batch retries the
-	// sync and succeeds.
-	fail.Store(false)
+	// One failed batch is not terminal: the log seals the dirty segment,
+	// rolls, and the next batch succeeds on the fresh file once the disk
+	// heals. It never re-fsyncs the sealed segment.
+	fs.setHook(nil)
 	ok := make(chan error, 1)
 	if err := l.AppendAsync([]byte("after"), func(_ uint64, err error) { ok <- err }); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-ok; err != nil {
 		t.Fatalf("append after recovery: %v", err)
+	}
+	if l.Failed() {
+		t.Fatal("log reports failed after a recovered transient fault")
+	}
+	if got := l.SegmentCount(); got != 2 {
+		t.Fatalf("SegmentCount = %d, want 2 (sealed + fresh)", got)
 	}
 }
 

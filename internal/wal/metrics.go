@@ -23,4 +23,13 @@ var (
 	// walAppendErrors counts records whose commit failed (write, fsync,
 	// or roll error, or a batch aborted by Close).
 	walAppendErrors = obs.Default.Counter("wal.append_errors")
+
+	// Failure-policy instruments. A seal retires a segment whose commit
+	// failed without fsyncing it again (the fsyncgate rule); failed logs
+	// counts logs currently in the terminal ErrLogFailed state; torn
+	// truncations counts segments repaired at open by cutting a torn or
+	// corrupt tail.
+	walSeals           = obs.Default.Counter("wal.segment_seals")
+	walFailedLogs      = obs.Default.Gauge("wal.failed")
+	walTornTruncations = obs.Default.Counter("wal.torn_truncations")
 )

@@ -9,6 +9,15 @@
 // truncates a torn tail (the paper accepts losing the latest unflushed
 // updates on a crash — §6). Log reduction drops whole segments whose
 // records precede a checkpoint (TruncateBefore).
+//
+// Storage faults follow the "fsyncgate" rule: after a failed fsync the
+// durability of the file's recent writes is unknown, and a later fsync of
+// the same file proves nothing. A failed commit therefore fails its whole
+// batch, seals the active segment as-is (never fsyncing it again), and
+// rolls to a fresh segment. If the fresh segment fails before anything
+// succeeds on it — or the roll itself fails — the log enters a terminal
+// failed state where every operation returns ErrLogFailed, and the owner
+// must reopen a new Log to resume.
 package wal
 
 import (
@@ -18,12 +27,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,7 +80,11 @@ const (
 var (
 	ErrClosed         = errors.New("wal: log closed")
 	ErrRecordTooLarge = errors.New("wal: record exceeds maximum size")
-	errBadRecord      = errors.New("wal: corrupt record")
+	// ErrLogFailed marks the terminal failed state: a commit failed on a
+	// freshly rolled segment (or the roll itself failed), so the log can no
+	// longer promise durability for anything. Matched with errors.Is.
+	ErrLogFailed = errors.New("wal: log failed")
+	errBadRecord = errors.New("wal: corrupt record")
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -87,6 +100,9 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the flush period under SyncInterval.
 	SyncEvery time.Duration
+	// FS is the filesystem beneath the log (default OSFS). Tests and the
+	// chaos harness substitute a fault-injecting implementation.
+	FS FS
 }
 
 type segment struct {
@@ -99,20 +115,26 @@ type segment struct {
 // concurrent use.
 type Log struct {
 	opts Options
+	fs   FS
 
 	mu       sync.Mutex
 	segments []segment // read-only older segments, sorted by first LSN
 	active   segment
-	f        *os.File
+	f        File
 	w        *bufio.Writer
 	size     int64
 	nextLSN  uint64
 	closed   bool
 	needSync bool
 
-	// fsyncHook replaces the file fsync when non-nil — a test seam for
-	// injecting durability failures into a commit batch.
-	fsyncHook func() error
+	// Failure policy state. sealedAfterError is set when a commit failure
+	// seals the active segment and rolls; if the fresh segment also fails
+	// before any successful sync, the log is terminally failed. failErr
+	// wraps ErrLogFailed around the root cause.
+	failed           bool
+	sealedAfterError bool
+	failErr          error
+	failedFlag       atomic.Bool
 
 	// Group commit: AppendAsync queues records here; the committer
 	// goroutine drains the queue, writes the whole batch under mu, fsyncs
@@ -141,8 +163,8 @@ type pendingAppend struct {
 }
 
 // Open opens (creating if necessary) the log in opts.Dir and recovers its
-// tail: the last segment is scanned and truncated at the first torn or
-// corrupt record.
+// tail: each segment is scanned and truncated at the first torn or corrupt
+// record.
 func Open(opts Options) (*Log, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
@@ -150,11 +172,15 @@ func Open(opts Options) (*Log, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = DefaultSyncEvery
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OSFS
+	}
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{
 		opts:       opts,
+		fs:         opts.FS,
 		pendSig:    make(chan struct{}, 1),
 		commitDone: make(chan struct{}),
 		stop:       make(chan struct{}),
@@ -174,14 +200,13 @@ func Open(opts Options) (*Log, error) {
 }
 
 func (l *Log) load() error {
-	entries, err := os.ReadDir(l.opts.Dir)
+	names, err := l.fs.ReadDir(l.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	var segs []segment
-	for _, ent := range entries {
-		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, segSuffix) {
+	for _, name := range names {
+		if !strings.HasSuffix(name, segSuffix) {
 			continue
 		}
 		first, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
@@ -192,18 +217,19 @@ func (l *Log) load() error {
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
 
-	// Count records in every segment; repair the last one.
+	// Count records in every segment and repair torn tails. Any segment
+	// can end torn, not just the last: a commit failure seals a segment at
+	// whatever prefix reached the disk, and a crash then tears whatever
+	// the failed fsync left behind. Replay tolerates the resulting LSN
+	// gaps between segments (the lost records were never acknowledged as
+	// durable).
 	for i := range segs {
-		last := i == len(segs)-1
-		count, validLen, err := scanSegment(segs[i].path)
-		if err != nil && !last {
-			return fmt.Errorf("wal: segment %s: %w", segs[i].path, err)
-		}
-		if last && err != nil {
-			// Torn tail: truncate to the last valid record.
-			if terr := os.Truncate(segs[i].path, validLen); terr != nil {
+		count, validLen, err := scanSegment(l.fs, segs[i].path)
+		if err != nil {
+			if terr := l.fs.Truncate(segs[i].path, validLen); terr != nil {
 				return fmt.Errorf("wal: truncate torn tail: %w", terr)
 			}
+			walTornTruncations.Inc()
 		}
 		segs[i].count = count
 	}
@@ -217,17 +243,17 @@ func (l *Log) load() error {
 	l.active = lastSeg
 	l.nextLSN = lastSeg.first + lastSeg.count
 
-	f, err := os.OpenFile(lastSeg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenAppend(lastSeg.path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := l.fs.Size(lastSeg.path)
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.f = f
-	l.size = st.Size()
+	l.size = size
 	l.w = bufio.NewWriterSize(f, 256<<10)
 	return nil
 }
@@ -235,8 +261,8 @@ func (l *Log) load() error {
 // scanSegment counts intact records and returns the byte length of the
 // valid prefix. A non-nil error indicates the file ends in a torn or
 // corrupt record at offset validLen.
-func scanSegment(path string) (count uint64, validLen int64, err error) {
-	f, err := os.Open(path)
+func scanSegment(fs FS, path string) (count uint64, validLen int64, err error) {
+	f, err := fs.OpenRead(path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -288,14 +314,21 @@ func (l *Log) roll() error {
 		if err := l.f.Close(); err != nil {
 			return err
 		}
+		l.f, l.w = nil, nil
 		l.segments = append(l.segments, l.active)
 		// A real roll adds a segment; the initial roll during load is
 		// accounted by Open.
 		walRolls.Inc()
 		walSegments.Add(1)
 	}
+	return l.openFreshLocked()
+}
+
+// openFreshLocked creates the segment starting at nextLSN and makes it
+// active. Caller holds l.mu and has retired any previous active segment.
+func (l *Log) openFreshLocked() error {
 	path := segPath(l.opts.Dir, l.nextLSN)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	f, err := l.fs.Create(path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -304,6 +337,69 @@ func (l *Log) roll() error {
 	l.size = 0
 	l.w = bufio.NewWriterSize(f, 256<<10)
 	return nil
+}
+
+// commitFailedLocked reacts to a failed write, roll, or fsync: seal the
+// active segment (never fsync it again — fsyncgate), roll to a fresh one,
+// and if that cannot restore a working log, fail terminally. Caller holds
+// l.mu and has already failed the batch that hit cause.
+func (l *Log) commitFailedLocked(cause error) {
+	if l.closed || l.failed {
+		return
+	}
+	if l.w == nil {
+		// A roll retired the previous segment but could not create the
+		// next one; there is nothing left to write to.
+		l.setFailedLocked(cause)
+		return
+	}
+	if l.sealedAfterError {
+		// The freshly rolled segment failed before anything succeeded on
+		// it; a second roll would fare no better.
+		l.setFailedLocked(cause)
+		return
+	}
+	l.sealedAfterError = true
+	l.sealActiveLocked()
+	if err := l.openFreshLocked(); err != nil {
+		l.setFailedLocked(cause)
+		return
+	}
+	walSegments.Add(1)
+}
+
+// sealActiveLocked retires the active segment after a commit failure. The
+// file is flushed and closed best-effort and its true on-disk record count
+// re-scanned: buffered or unsynced bytes may or may not have reached the
+// disk, and no further fsync may claim otherwise. The in-memory nextLSN is
+// not rewound — the LSNs of lost records stay burned, leaving a gap Replay
+// and recovery tolerate.
+func (l *Log) sealActiveLocked() {
+	_ = l.w.Flush()
+	_ = l.f.Close()
+	l.f, l.w = nil, nil
+	l.needSync = false
+	count, _, _ := scanSegment(l.fs, l.active.path)
+	sealed := l.active
+	sealed.count = count
+	l.segments = append(l.segments, sealed)
+	walSeals.Inc()
+}
+
+func (l *Log) setFailedLocked(cause error) {
+	l.failed = true
+	l.failErr = fmt.Errorf("%w: %v", ErrLogFailed, cause)
+	l.failedFlag.Store(true)
+	walFailedLogs.Add(1)
+}
+
+// Failed reports whether the log is in the terminal failed state.
+func (l *Log) Failed() bool { return l.failedFlag.Load() }
+
+func (l *Log) failedError() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failErr
 }
 
 // Append writes one record and returns its LSN. Durability depends on the
@@ -318,17 +414,23 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	if l.failed {
+		return 0, l.failErr
+	}
 	lsn, err := l.writeRecordLocked(payload)
 	if err != nil {
+		l.commitFailedLocked(err)
 		return 0, err
 	}
 	if l.opts.Sync == SyncAlways {
 		if err := l.syncLocked(); err != nil {
+			l.commitFailedLocked(err)
 			return 0, err
 		}
 	}
 	if l.size >= l.opts.SegmentSize {
 		if err := l.roll(); err != nil {
+			l.commitFailedLocked(err)
 			return 0, err
 		}
 	}
@@ -371,6 +473,9 @@ func (l *Log) writeRecordLocked(payload []byte) (uint64, error) {
 func (l *Log) AppendAsync(payload []byte, done func(lsn uint64, err error)) error {
 	if len(payload) > MaxRecordSize {
 		return ErrRecordTooLarge
+	}
+	if l.failedFlag.Load() {
+		return l.failedError()
 	}
 	l.pendMu.Lock()
 	if l.pendClosed {
@@ -434,9 +539,11 @@ func (l *Log) commitLoop() {
 
 // commitBatch writes a batch under one lock acquisition, fsyncs once when
 // the policy demands durability, and completes every waiter in LSN order.
-// On the first write error the remaining records are not written and every
+// On the first error the remaining records are not written and every
 // waiter in the batch — including those already buffered — receives the
-// error, because the batch's durability is unknown as a whole.
+// error, because the batch's durability is unknown as a whole. The failed
+// batch is never retried: its waiters were told it is not durable, and a
+// retry would fsync a file whose last fsync failed (fsyncgate).
 func (l *Log) commitBatch(batch []pendingAppend) {
 	if len(batch) == 0 {
 		return
@@ -446,9 +553,12 @@ func (l *Log) commitBatch(batch []pendingAppend) {
 	records := 0
 	var firstErr error
 	l.mu.Lock()
-	if l.closed {
+	switch {
+	case l.closed:
 		firstErr = ErrClosed
-	} else {
+	case l.failed:
+		firstErr = l.failErr
+	default:
 		for i, p := range batch {
 			if p.barrier {
 				continue
@@ -469,6 +579,9 @@ func (l *Log) commitBatch(batch []pendingAppend) {
 		}
 		if firstErr == nil && l.opts.Sync == SyncAlways {
 			firstErr = l.syncLocked()
+		}
+		if firstErr != nil {
+			l.commitFailedLocked(firstErr)
 		}
 	}
 	l.mu.Unlock()
@@ -494,7 +607,14 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
-	return l.syncLocked()
+	if l.failed {
+		return l.failErr
+	}
+	if err := l.syncLocked(); err != nil {
+		l.commitFailedLocked(err)
+		return err
+	}
+	return nil
 }
 
 func (l *Log) syncLocked() error {
@@ -505,14 +625,13 @@ func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	fsync := l.f.Sync
-	if l.fsyncHook != nil {
-		fsync = l.fsyncHook
-	}
-	if err := fsync(); err != nil {
+	if err := l.f.Sync(); err != nil {
 		return err
 	}
 	l.needSync = false
+	// A successful fsync on this file re-arms the one-roll recovery
+	// budget: the next commit failure may seal and roll again.
+	l.sealedAfterError = false
 	walFsyncs.Inc()
 	walFsyncNs.Record(time.Since(start).Nanoseconds())
 	return nil
@@ -554,10 +673,13 @@ func (l *Log) FirstLSN() uint64 {
 func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	total := l.size
+	var total int64
+	if l.w != nil {
+		total = l.size
+	}
 	for _, s := range l.segments {
-		if st, err := os.Stat(s.path); err == nil {
-			total += st.Size()
+		if n, err := l.fs.Size(s.path); err == nil {
+			total += n
 		}
 	}
 	return total
@@ -565,21 +687,35 @@ func (l *Log) Size() int64 {
 
 // Replay calls fn for every record with LSN >= from, in order. The payload
 // slice is reused between calls; fn must copy it to retain it. Replay sees
-// only records appended before it starts.
+// only records appended before it starts. LSN gaps left by sealed segments
+// are skipped silently.
 func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return ErrClosed
 	}
-	// Flush so the active file content is visible to the reader below.
-	if err := l.w.Flush(); err != nil {
-		l.mu.Unlock()
-		return err
-	}
 	segs := make([]segment, 0, len(l.segments)+1)
 	segs = append(segs, l.segments...)
-	segs = append(segs, l.active)
+	if l.w != nil {
+		if l.failed {
+			// The tail's durability is unknown; expose whatever the disk
+			// actually holds.
+			_ = l.w.Flush()
+			count, _, _ := scanSegment(l.fs, l.active.path)
+			tail := l.active
+			tail.count = count
+			segs = append(segs, tail)
+		} else {
+			// Flush so the active file content is visible to the reader
+			// below.
+			if err := l.w.Flush(); err != nil {
+				l.mu.Unlock()
+				return err
+			}
+			segs = append(segs, l.active)
+		}
+	}
 	limit := l.nextLSN
 	l.mu.Unlock()
 
@@ -588,7 +724,7 @@ func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) err
 		if s.first+s.count <= from {
 			continue
 		}
-		err := replaySegment(s, from, limit, &buf, fn)
+		err := replaySegment(l.fs, s, from, limit, &buf, fn)
 		if err != nil {
 			return err
 		}
@@ -596,8 +732,8 @@ func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) err
 	return nil
 }
 
-func replaySegment(s segment, from, limit uint64, buf *[]byte, fn func(uint64, []byte) error) error {
-	f, err := os.Open(s.path)
+func replaySegment(fs FS, s segment, from, limit uint64, buf *[]byte, fn func(uint64, []byte) error) error {
+	f, err := fs.OpenRead(s.path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -646,7 +782,7 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 	removed := int64(0)
 	for _, s := range l.segments {
 		if s.first+s.count <= lsn {
-			if err := os.Remove(s.path); err != nil {
+			if err := l.fs.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: %w", err)
 			}
 			removed++
@@ -660,15 +796,25 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 }
 
 // SegmentCount returns the number of on-disk segments (including the
-// active one).
+// active one, when the log still has one).
 func (l *Log) SegmentCount() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.segments) + 1
+	return int(l.liveSegmentsLocked())
+}
+
+func (l *Log) liveSegmentsLocked() int64 {
+	n := int64(len(l.segments))
+	if l.w != nil {
+		n++
+	}
+	return n
 }
 
 // Close commits any queued async appends, then flushes, fsyncs, and closes
-// the log. Safe to call more than once.
+// the log. A failed log closes without the final flush and fsync — its
+// tail made no durability promise — and Close reports nil. Safe to call
+// more than once.
 func (l *Log) Close() error {
 	l.closeOnce.Do(func() {
 		// Stop accepting async appends, then let the committer drain
@@ -682,13 +828,24 @@ func (l *Log) Close() error {
 
 		l.mu.Lock()
 		l.closed = true
-		flushErr := l.w.Flush()
-		syncErr := l.f.Sync()
-		closeErr := l.f.Close()
-		walSegments.Add(-int64(len(l.segments)) - 1)
+		var flushErr, syncErr, closeErr error
+		if l.w != nil {
+			if !l.failed {
+				flushErr = l.w.Flush()
+				syncErr = l.f.Sync()
+			}
+			closeErr = l.f.Close()
+		}
+		walSegments.Add(-l.liveSegmentsLocked())
+		if l.failed {
+			walFailedLogs.Add(-1)
+		}
+		failed := l.failed
 		l.mu.Unlock()
 
 		switch {
+		case failed:
+			l.closeErr = nil
 		case flushErr != nil:
 			l.closeErr = flushErr
 		case syncErr != nil:

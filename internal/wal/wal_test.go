@@ -244,7 +244,7 @@ func TestSyncAlways(t *testing.T) {
 	// Without closing, the record must already be on disk: scan the file
 	// directly.
 	ents, _ := os.ReadDir(dir)
-	count, _, scanErr := scanSegment(filepath.Join(dir, ents[0].Name()))
+	count, _, scanErr := scanSegment(OSFS, filepath.Join(dir, ents[0].Name()))
 	if scanErr != nil || count != 1 {
 		t.Fatalf("on-disk records = %d (err %v), want 1", count, scanErr)
 	}
@@ -264,7 +264,7 @@ func TestSyncInterval(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
 		ents, _ := os.ReadDir(dir)
-		if count, _, _ := scanSegment(filepath.Join(dir, ents[0].Name())); count == 1 {
+		if count, _, _ := scanSegment(OSFS, filepath.Join(dir, ents[0].Name())); count == 1 {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -449,6 +449,11 @@ const (
 	CodeInternal
 	CodeBadVersion
 	CodeShuttingDown
+	// CodeNotDurable is the honest durability nack: the multicast was
+	// delivered (ordering and fanout completed) but the stable-storage
+	// commit failed, so the event may not survive a server restart. Sent
+	// in place of BcastAck when the sync policy promised durability.
+	CodeNotDurable
 )
 
 func (c ErrCode) String() string {
@@ -477,6 +482,8 @@ func (c ErrCode) String() string {
 		return "bad-version"
 	case CodeShuttingDown:
 		return "shutting-down"
+	case CodeNotDurable:
+		return "not-durable"
 	default:
 		return fmt.Sprintf("ErrCode(%d)", uint16(c))
 	}

@@ -80,6 +80,12 @@ go run ./cmd/corona-bench -experiment jointransfer -jt-sizes 1 -jt-joins 1 -dura
 echo "== placement smoke"
 go run ./cmd/corona-bench -experiment placement -pl-state 1 -pl-groups 2 >/dev/null
 
+echo "== chaos smoke (race)"
+# The storage-fault acceptance test: one seeded chaos arc — fsync fault,
+# degraded mode, recovery, power cut — with the durability-honesty,
+# ordering, and replay audits on. -count=1 defeats the cache.
+go test -race -count=1 -run TestChaosSmoke ./internal/chaos >/dev/null
+
 echo "== rebalance churn (race)"
 # The live-migration acceptance test: gapless deliveries and identical
 # replica images while groups migrate under broadcast load and a server
